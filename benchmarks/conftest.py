@@ -1,0 +1,13 @@
+"""Fixtures shared by the figure/table reproduction benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.orchestrator import PIMphonyConfig
+
+
+@pytest.fixture
+def incremental_configs():
+    """The paper's incremental configurations: baseline, +TCP, +DCS, +DPA."""
+    return PIMphonyConfig.incremental_sweep()

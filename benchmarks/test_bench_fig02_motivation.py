@@ -1,0 +1,48 @@
+"""Fig. 2 reproduction: compute intensity and memory footprint of decoding."""
+
+from benchmarks._helpers import emit, run_once
+from repro.analysis.reporting import format_table
+from repro.models.footprint import A100_CAPACITY_BYTES, memory_footprint
+from repro.models.llm import get_model
+from repro.models.roofline import decode_compute_intensity_sweep
+
+CONTEXTS = [1024, 4096, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
+BATCHES = [1, 4, 16, 64]
+
+
+def build_fig2():
+    model = get_model("LLM-7B-128K")
+    intensity = decode_compute_intensity_sweep(model, CONTEXTS, batch_size=32)
+    footprint_grid = [
+        [context, batch, memory_footprint(model, context, batch).total_gib]
+        for context in CONTEXTS
+        for batch in BATCHES
+    ]
+    return intensity, footprint_grid
+
+
+def test_fig02_compute_intensity_and_footprint(benchmark):
+    intensity, footprint_grid = run_once(benchmark, build_fig2)
+
+    emit(
+        "Fig. 2(a): compute intensity (FLOPs/Byte) vs context length (LLM-7B GQA, batch 32)",
+        format_table(
+            ["context", "FLOPs/Byte", "attention byte share"],
+            [[p.context_length, p.compute_intensity, p.attention_byte_fraction] for p in intensity],
+        ),
+    )
+    a100_line = A100_CAPACITY_BYTES / 1024**3
+    emit(
+        f"Fig. 2(b): memory footprint (GiB) vs context and batch (A100 line = {a100_line:.0f} GiB)",
+        format_table(
+            ["context", "batch", "footprint GiB", "exceeds A100"],
+            [[c, b, g, "yes" if g > a100_line else "no"] for c, b, g in footprint_grid],
+        ),
+    )
+
+    # Shape assertions: intensity collapses with context; footprint crosses
+    # the A100 capacity line within the plotted grid.
+    intensities = [p.compute_intensity for p in intensity]
+    assert intensities[0] > 2 * intensities[-1]
+    gibs = [g for _, _, g in footprint_grid]
+    assert min(gibs) < a100_line < max(gibs)

@@ -1,0 +1,31 @@
+"""Fig. 10(c) reproduction: instruction footprint, static encoding vs DPA."""
+
+from benchmarks._helpers import emit, run_once
+from repro.analysis.reporting import format_table
+from repro.compiler.dpa_encoding import dpa_instruction_footprint, static_instruction_footprint
+from repro.models.llm import get_model
+
+CONTEXTS = [1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024]
+
+
+def build_fig10():
+    model = get_model("LLM-7B-128K")
+    rows = []
+    for context in CONTEXTS:
+        static = static_instruction_footprint(context, kv_heads=model.num_kv_heads)
+        dpa = dpa_instruction_footprint(context, kv_heads=model.num_kv_heads)
+        rows.append([context, static / 1024, dpa / 1024, static / dpa])
+    return rows
+
+
+def test_fig10_instruction_footprint_vs_context(benchmark):
+    rows = run_once(benchmark, build_fig10)
+    emit(
+        "Fig. 10(c): per-layer attention instruction footprint (KiB) vs context length",
+        format_table(["context", "static (KiB)", "DPA (KiB)", "ratio"], rows),
+    )
+    # Static grows linearly with the context; DPA stays flat.
+    assert rows[-1][1] / rows[0][1] > 500
+    assert rows[-1][2] == rows[0][2]
+    # At 1M tokens the gap is enormous (instruction buffer bloat).
+    assert rows[-1][3] > 10_000

@@ -1,0 +1,46 @@
+"""Table I reproduction: LLM specifications and context windows."""
+
+from benchmarks._helpers import emit, run_once
+from repro.analysis.reporting import format_table
+from repro.models.llm import get_model, list_models
+from repro.models.workload import build_decode_workload
+
+
+def build_table1():
+    rows = []
+    for name in list_models():
+        model = get_model(name)
+        rows.append(
+            [
+                model.name,
+                model.num_layers,
+                model.num_heads,
+                model.head_dim,
+                f"{model.d_model}/{model.ffn_dim}",
+                "yes" if model.gqa_enabled else "no",
+                model.gqa_group_size,
+                model.context_window // 1024,
+                round(model.param_count / 1e9, 1),
+            ]
+        )
+    return rows
+
+
+def test_table1_model_specifications(benchmark):
+    rows = run_once(benchmark, build_table1)
+    emit(
+        "Table I: LLM specification and context window",
+        format_table(
+            ["model", "nl", "nh", "dh", "d_in/out", "GQA", "g", "CW (K tokens)", "params (B)"],
+            rows,
+        ),
+    )
+    # Shape checks against the paper's Table I.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["LLM-7B-32K"][1:4] == [32, 32, 128]
+    assert by_name["LLM-72B-128K"][1:4] == [80, 64, 128]
+    assert by_name["LLM-72B-128K"][6] == 8
+
+    # The decode workload builder consumes these configurations directly.
+    workload = build_decode_workload(get_model("LLM-7B-32K"), [4096])
+    assert workload.total_flops > 0

@@ -1,0 +1,52 @@
+"""Table II reproduction: context-length statistics of the four datasets."""
+
+import numpy as np
+
+from benchmarks._helpers import emit, run_once
+from repro.analysis.reporting import format_table
+from repro.workloads.datasets import get_dataset, list_datasets
+
+PAPER_STATS = {
+    "qmsum": dict(mean=13_966, std=6_182, maximum=30_456, minimum=2_651),
+    "musique": dict(mean=16_362, std=1_651, maximum=17_917, minimum=6_820),
+    "multifieldqa": dict(mean=60_780, std=31_025, maximum=119_480, minimum=20_333),
+    "loogle-sd": dict(mean=50_693, std=26_506, maximum=109_221, minimum=13_347),
+}
+
+
+def sample_statistics(samples_per_dataset: int = 4000):
+    rng = np.random.default_rng(0)
+    rows = []
+    for name in list_datasets():
+        stats = get_dataset(name)
+        samples = stats.sample(samples_per_dataset, rng)
+        rows.append(
+            [
+                name,
+                stats.suite,
+                float(samples.mean()),
+                float(samples.std()),
+                int(samples.max()),
+                int(samples.min()),
+                PAPER_STATS[name]["mean"],
+                PAPER_STATS[name]["maximum"],
+            ]
+        )
+    return rows
+
+
+def test_table2_context_length_statistics(benchmark):
+    rows = run_once(benchmark, sample_statistics)
+    emit(
+        "Table II: input context length statistics (generated vs paper)",
+        format_table(
+            ["dataset", "suite", "gen mean", "gen std", "gen max", "gen min", "paper mean", "paper max"],
+            rows,
+            float_format="{:.0f}",
+        ),
+    )
+    for row in rows:
+        name, generated_mean, paper_mean = row[0], row[2], row[6]
+        assert abs(generated_mean - paper_mean) / paper_mean < 0.15, name
+        assert row[4] <= PAPER_STATS[name]["maximum"]
+        assert row[5] >= PAPER_STATS[name]["minimum"]

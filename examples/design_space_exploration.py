@@ -1,0 +1,87 @@
+"""Design-space exploration: parallelism plans and system capacity.
+
+PIMphony's benefit depends on how the model is spread across PIM modules.
+This example sweeps every valid (TP, PP) plan of an 8-module CENT-class
+system for two models, picks the best plan for the baseline and for
+PIMphony, and then scales the module count to show capacity scalability
+(the paper's Fig. 15 and Fig. 17(a) analyses).
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.baselines.cent import cent_system_config
+from repro.core.orchestrator import PIMphonyConfig
+from repro.models.llm import get_model
+from repro.system.parallelism import enumerate_plans
+from repro.system.serving import simulate_serving
+from repro.workloads.datasets import get_dataset
+from repro.workloads.traces import generate_trace
+
+
+def throughput(model, trace, plan, config, num_modules):
+    system = cent_system_config(model, num_modules=num_modules, plan=plan, pimphony=config)
+    return simulate_serving(system, trace, step_stride=8).throughput_tokens_per_s
+
+
+def explore_plans(model_name: str, dataset_name: str, num_modules: int = 8) -> None:
+    model = get_model(model_name)
+    trace = generate_trace(
+        get_dataset(dataset_name),
+        num_requests=16,
+        seed=0,
+        context_window=model.context_window,
+        output_tokens=24,
+    )
+    rows = []
+    for plan in enumerate_plans(num_modules, model):
+        baseline = throughput(model, trace, plan, PIMphonyConfig.baseline(), num_modules)
+        pimphony = throughput(model, trace, plan, PIMphonyConfig.full(), num_modules)
+        rows.append([str(plan), baseline, pimphony, pimphony / baseline])
+    rows.sort(key=lambda row: row[2], reverse=True)
+    print()
+    print(
+        format_table(
+            ["plan", "baseline tok/s", "PIMphony tok/s", "speedup"],
+            rows,
+            title=f"{model_name} on {dataset_name}: parallelism plans over {num_modules} modules",
+        )
+    )
+    print(f"best plan with PIMphony: {rows[0][0]}")
+
+
+def explore_capacity(model_name: str, dataset_name: str) -> None:
+    model = get_model(model_name)
+    trace = generate_trace(
+        get_dataset(dataset_name),
+        num_requests=24,
+        seed=0,
+        context_window=model.context_window,
+        output_tokens=24,
+    )
+    rows = []
+    for num_modules in (8, 16, 32, 64):
+        tokens_per_s = simulate_serving(
+            cent_system_config(model, num_modules=num_modules, pimphony=PIMphonyConfig.full()),
+            trace,
+            step_stride=8,
+        ).throughput_tokens_per_s
+        rows.append([num_modules, num_modules * 16, tokens_per_s])
+    print()
+    print(
+        format_table(
+            ["modules", "capacity (GB)", "PIMphony tok/s"],
+            rows,
+            title=f"{model_name} on {dataset_name}: throughput vs system capacity",
+        )
+    )
+
+
+def main() -> None:
+    explore_plans("LLM-7B-32K", "qmsum")
+    explore_plans("LLM-7B-128K", "multifieldqa")
+    explore_capacity("LLM-7B-128K", "multifieldqa")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: serve a long-context workload on a PIM system with PIMphony.
+
+This example builds the smallest end-to-end pipeline:
+
+1. pick an LLM configuration (paper Table I),
+2. generate a request trace from a LongBench-like context distribution,
+3. build a CENT-style PIM-only system with and without PIMphony,
+4. run the decode serving simulation and compare throughput.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.baselines.cent import cent_system_config
+from repro.core.orchestrator import PIMphonyConfig
+from repro.models.llm import get_model
+from repro.system.serving import simulate_serving
+from repro.workloads.datasets import get_dataset
+from repro.workloads.traces import generate_trace
+
+
+def main() -> None:
+    model = get_model("LLM-7B-32K")
+    dataset = get_dataset("qmsum")
+    trace = generate_trace(
+        dataset,
+        num_requests=16,
+        seed=0,
+        context_window=model.context_window,
+        output_tokens=32,
+    )
+    print(
+        f"Serving {len(trace)} requests of {dataset.name} "
+        f"(mean prompt {trace.mean_prompt_tokens:.0f} tokens) on {model.name}"
+    )
+
+    rows = []
+    baseline_throughput = None
+    for config in PIMphonyConfig.incremental_sweep():
+        system = cent_system_config(model, pimphony=config)
+        result = simulate_serving(system, trace, step_stride=8)
+        if baseline_throughput is None:
+            baseline_throughput = result.throughput_tokens_per_s
+        rows.append(
+            [
+                config.label,
+                result.throughput_tokens_per_s,
+                result.average_batch_size,
+                result.average_pim_utilization,
+                result.average_capacity_utilization,
+                result.throughput_tokens_per_s / baseline_throughput,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["config", "tokens/s", "avg batch", "PIM util", "capacity util", "speedup"],
+            rows,
+            title="CENT-class PIM-only system, LLM-7B-32K on QMSum",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""PIMphony reproduction library.
+
+This package reproduces the system described in *PIMphony: Overcoming
+Bandwidth and Capacity Inefficiency in PIM-Based Long-Context LLM Inference
+System* (HPCA 2026).  It provides:
+
+* ``repro.models`` -- LLM architectural configurations and decode-step
+  workload models (Table I, Fig. 2).
+* ``repro.pim`` / ``repro.dram`` -- a DRAM-PIM hardware substrate with a
+  command-level simulator, timing and energy models.
+* ``repro.compiler`` -- a small tensor IR and lowering passes producing PIM
+  instruction streams (the MLIR-based compiler substitute).
+* ``repro.memory`` -- static and chunk-based (lazy) KV-cache allocators and
+  the VA2PA translation table.
+* ``repro.core`` -- the paper's contribution: Token-Centric Partitioning
+  (TCP), Dynamic Command Scheduling (DCS), Dynamic PIM Access (DPA) and the
+  ``PIMphony`` orchestrator facade.
+* ``repro.system`` -- multi-node PIM-only and xPU+PIM system models with a
+  decode serving loop.
+* ``repro.baselines`` -- CENT-like, NeuPIMs-like, ping-pong buffering and
+  GPU (A100 + FlashDecoding + PagedAttention) baselines.
+* ``repro.workloads`` -- LongBench / LV-Eval statistical trace generators.
+* ``repro.analysis`` -- utilisation / breakdown / reporting helpers.
+"""
+
+from repro.core.orchestrator import PIMphony, PIMphonyConfig
+from repro.models.llm import LLMConfig, get_model, list_models
+from repro.system.serving import ServingResult, simulate_serving
+from repro.workloads.datasets import get_dataset, list_datasets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PIMphony",
+    "PIMphonyConfig",
+    "LLMConfig",
+    "get_model",
+    "list_models",
+    "ServingResult",
+    "simulate_serving",
+    "get_dataset",
+    "list_datasets",
+    "__version__",
+]

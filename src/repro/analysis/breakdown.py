@@ -1,0 +1,41 @@
+"""Latency-breakdown post-processing (Fig. 8 / Fig. 9 style reports)."""
+
+from __future__ import annotations
+
+from repro.pim.simulator import CycleBreakdown
+
+BREAKDOWN_COMPONENTS = (
+    "mac",
+    "dt_gbuf",
+    "dt_outreg",
+    "act_pre",
+    "refresh",
+    "pipeline_penalty",
+)
+
+
+def breakdown_fractions(breakdown: CycleBreakdown) -> dict[str, float]:
+    """Fraction of total time spent in each breakdown component."""
+    total = breakdown.total
+    if total <= 0:
+        return {component: 0.0 for component in BREAKDOWN_COMPONENTS}
+    return {
+        component: getattr(breakdown, component) / total
+        for component in BREAKDOWN_COMPONENTS
+    }
+
+
+def normalize_breakdown(
+    breakdown: CycleBreakdown, reference_total: float
+) -> dict[str, float]:
+    """Express a breakdown's components relative to a reference total.
+
+    Useful for the paired bars of Fig. 9 where the DCS bar is normalised to
+    the baseline's execution time.
+    """
+    if reference_total <= 0:
+        raise ValueError("reference_total must be positive")
+    return {
+        component: getattr(breakdown, component) / reference_total
+        for component in BREAKDOWN_COMPONENTS
+    }

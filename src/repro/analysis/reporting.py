@@ -1,0 +1,57 @@
+"""Plain-text report formatting for benchmark outputs."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render a simple aligned text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values; floats are formatted with ``float_format``.
+        title: Optional title line.
+        float_format: Format string applied to float cells.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def speedup_table(
+    baseline: Mapping[str, float],
+    improved: Mapping[str, float],
+    metric: str = "throughput",
+    title: str = "",
+) -> str:
+    """Render a per-key speedup table of ``improved`` over ``baseline``."""
+    rows = []
+    for key in baseline:
+        base_value = baseline[key]
+        new_value = improved.get(key, 0.0)
+        speedup = new_value / base_value if base_value else 0.0
+        rows.append([key, base_value, new_value, speedup])
+    headers = ["workload", f"baseline {metric}", f"pimphony {metric}", "speedup"]
+    return format_table(headers, rows, title=title)

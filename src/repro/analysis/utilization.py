@@ -1,0 +1,29 @@
+"""MAC-utilisation sweeps (paper Fig. 8 and Fig. 18 style studies)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.pim.config import PIMChannelConfig
+from repro.pim.kernels import fc_gemv_cycles
+from repro.pim.timing import PIMTiming
+
+
+def mac_utilization_sweep(
+    dimensions: Sequence[int],
+    channel: PIMChannelConfig,
+    timing: PIMTiming,
+    policy: str,
+) -> dict[int, float]:
+    """MAC utilisation of square GEMVs across matrix dimensions."""
+    results = {}
+    for dimension in dimensions:
+        breakdown = fc_gemv_cycles(
+            in_dim=dimension,
+            out_dim=dimension,
+            channel=channel,
+            timing=timing,
+            policy=policy,
+        )
+        results[dimension] = breakdown.mac_utilization
+    return results

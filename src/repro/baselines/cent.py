@@ -1,0 +1,51 @@
+"""CENT-like PIM-only baseline system configuration.
+
+CENT serves the whole model from CXL-attached PIM modules (16GB, 16TB/s
+internal bandwidth each) with head/batch-first partitioning, a static PIM
+command scheduler and static (``T_max``) KV-cache reservations -- the
+baseline the paper's Fig. 13/15/16/17 improve upon.
+"""
+
+from __future__ import annotations
+
+from repro.core.orchestrator import PIMphonyConfig
+from repro.models.llm import LLMConfig
+from repro.pim.config import cent_module_config
+from repro.system.parallelism import ParallelismPlan, enumerate_plans
+from repro.system.pim_only import PIMOnlySystem
+
+
+def default_module_count(model: LLMConfig) -> int:
+    """Module counts used in the paper: 8 (128GB) for 7B, 32 (512GB) for 72B."""
+    return 8 if model.num_layers <= 40 else 32
+
+
+def cent_system_config(
+    model: LLMConfig,
+    num_modules: int | None = None,
+    plan: ParallelismPlan | None = None,
+    pimphony: PIMphonyConfig | None = None,
+) -> PIMOnlySystem:
+    """Build a CENT-style PIM-only system.
+
+    Args:
+        model: LLM configuration to serve.
+        num_modules: Module count (defaults to the paper's memory-matched
+            configuration).
+        plan: Parallelism plan; defaults to the most tensor-parallel valid
+            plan, which is CENT's preferred operating point.
+        pimphony: PIMphony feature configuration; defaults to the CENT
+            baseline (no TCP/DCS/DPA).
+    """
+    modules = num_modules if num_modules is not None else default_module_count(model)
+    if plan is None:
+        plans = enumerate_plans(modules, model)
+        plan = max(plans, key=lambda candidate: candidate.tensor_parallel)
+    config = pimphony if pimphony is not None else PIMphonyConfig.baseline()
+    return PIMOnlySystem(
+        model=model,
+        num_modules=modules,
+        plan=plan,
+        pimphony=config,
+        module=cent_module_config(),
+    )

@@ -1,0 +1,42 @@
+"""NeuPIMs-like heterogeneous xPU+PIM baseline system configuration.
+
+NeuPIMs pairs NPU matrix units with PIM channels in each 32GB module and
+overlaps GEMM (NPU) with GEMV (PIM) through sub-batch interleaving.  Its
+intra-module attention mapping is head/batch-first, its PIM commands are
+statically scheduled and its KV cache is statically reserved -- the baseline
+for the paper's Fig. 14 and the xPU+PIM rows of Fig. 17/20.
+"""
+
+from __future__ import annotations
+
+from repro.core.orchestrator import PIMphonyConfig
+from repro.models.llm import LLMConfig
+from repro.pim.config import neupims_module_config
+from repro.system.parallelism import ParallelismPlan, enumerate_plans
+from repro.system.xpu_pim import XPUPIMSystem
+
+
+def default_module_count(model: LLMConfig) -> int:
+    """Module counts used in the paper: 4 (128GB) for 7B, 16 (512GB) for 72B."""
+    return 4 if model.num_layers <= 40 else 16
+
+
+def neupims_system_config(
+    model: LLMConfig,
+    num_modules: int | None = None,
+    plan: ParallelismPlan | None = None,
+    pimphony: PIMphonyConfig | None = None,
+) -> XPUPIMSystem:
+    """Build a NeuPIMs-style xPU+PIM system (baseline features by default)."""
+    modules = num_modules if num_modules is not None else default_module_count(model)
+    if plan is None:
+        plans = enumerate_plans(modules, model)
+        plan = max(plans, key=lambda candidate: candidate.tensor_parallel)
+    config = pimphony if pimphony is not None else PIMphonyConfig.baseline()
+    return XPUPIMSystem(
+        model=model,
+        num_modules=modules,
+        plan=plan,
+        pimphony=config,
+        module=neupims_module_config(),
+    )

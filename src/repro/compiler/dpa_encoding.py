@@ -1,0 +1,105 @@
+"""DPA instruction encoding and the instruction-footprint model (Fig. 10).
+
+Conventional PIM compilers must emit one instruction sequence entry per
+token-dependent repetition, because loop bounds and operand addresses are
+fixed at compile time; the instruction footprint therefore grows linearly
+with the context length.  DPA encodes the same computation as a compact
+``DYN-LOOP`` / ``DYN-MODI`` wrapped body whose size is independent of the
+context length (Fig. 10(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pim.isa import INSTRUCTION_BYTES, PIMInstruction, PIMOpcode
+
+
+@dataclass(frozen=True)
+class EncodedLoop:
+    """A DPA-encoded attention loop."""
+
+    instructions: tuple[PIMInstruction, ...]
+    body_instructions: int
+    loop_bound_source: str
+
+    @property
+    def encoded_bytes(self) -> int:
+        return sum(instruction.encoded_bytes for instruction in self.instructions)
+
+
+def encode_attention_loop(
+    body: tuple[PIMInstruction, ...] | list[PIMInstruction],
+    loop_bound_source: str = "token_length",
+    row_stride: int = 1,
+) -> EncodedLoop:
+    """Wrap an attention instruction body into a DPA dynamic loop.
+
+    Args:
+        body: The per-iteration instruction body (typically the WR-INP /
+            MAC / RD-OUT triple of one token group).
+        loop_bound_source: Runtime value providing the loop bound.
+        row_stride: Stride applied to the MAC row operand per iteration.
+    """
+    body_tuple = tuple(body)
+    if not body_tuple:
+        raise ValueError("loop body must contain at least one instruction")
+    loop = PIMInstruction(
+        opcode=PIMOpcode.DYN_LOOP,
+        op_size=1,
+        loop_bound_source=loop_bound_source,
+    )
+    modifiers = tuple(
+        PIMInstruction(
+            opcode=PIMOpcode.DYN_MODI,
+            op_size=1,
+            stride=row_stride,
+            target_field="row",
+        )
+        for instruction in body_tuple
+        if instruction.opcode is PIMOpcode.MAC
+    )
+    return EncodedLoop(
+        instructions=(loop,) + modifiers + body_tuple,
+        body_instructions=len(body_tuple),
+        loop_bound_source=loop_bound_source,
+    )
+
+
+def static_instruction_footprint(
+    context_length: int,
+    instructions_per_token_group: int = 3,
+    tokens_per_group: int = 16,
+    layers: int = 1,
+    kv_heads: int = 1,
+) -> int:
+    """Instruction-buffer bytes required by a statically compiled kernel.
+
+    One instruction group (WR-INP / MAC / RD-OUT) is emitted per token group
+    per KV head per layer, so the footprint grows linearly with the maximum
+    context length the kernel must support.
+    """
+    if context_length < 0:
+        raise ValueError("context_length must be non-negative")
+    groups = -(-context_length // tokens_per_group)
+    instructions = groups * instructions_per_token_group * layers * kv_heads
+    return instructions * INSTRUCTION_BYTES
+
+
+def dpa_instruction_footprint(
+    context_length: int,
+    instructions_per_token_group: int = 3,
+    layers: int = 1,
+    kv_heads: int = 1,
+) -> int:
+    """Instruction-buffer bytes required with DPA encoding.
+
+    The loop body plus one ``DYN-LOOP`` and one ``DYN-MODI`` per MAC operand
+    is emitted once per KV head per layer; the footprint is independent of
+    the context length.
+    """
+    if context_length < 0:
+        raise ValueError("context_length must be non-negative")
+    del context_length  # footprint is context-independent by construction
+    per_kernel = instructions_per_token_group + 2
+    return per_kernel * INSTRUCTION_BYTES * layers * kv_heads

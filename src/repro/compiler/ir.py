@@ -1,0 +1,256 @@
+"""A small tensor-operation IR standing in for the paper's MLIR dialects.
+
+The IR captures exactly what PIMphony's compiler passes need: a graph of
+named operations over typed tensor values, with enough attributes to detect
+transformer-decoder patterns (``QK^T`` / softmax / ``SV`` / FC) and lower
+the PIM-amenable ones to PIM instruction streams.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.models.llm import LLMConfig
+
+
+class OpType(enum.Enum):
+    """Operation kinds the decoder front-end emits."""
+
+    MATMUL = "matmul"
+    SOFTMAX = "softmax"
+    ELEMENTWISE = "elementwise"
+    CONCAT_KV = "concat_kv"
+    ROPE = "rope"
+    LAYERNORM = "layernorm"
+
+
+@dataclass(frozen=True)
+class TensorType:
+    """Shape and element width of an IR value."""
+
+    shape: tuple[int, ...]
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if any(dim <= 0 for dim in self.shape):
+            raise ValueError("all tensor dimensions must be positive")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    @property
+    def num_bytes(self) -> int:
+        return self.num_elements * self.dtype_bytes
+
+
+@dataclass
+class Operation:
+    """One IR operation.
+
+    Attributes:
+        name: Unique operation name within its graph.
+        op_type: Operation kind.
+        inputs: Names of input values.
+        outputs: Names of output values.
+        attrs: Free-form attributes (e.g. ``{"role": "qkt"}``,
+            ``{"dynamic_dim": "context_length"}``).
+    """
+
+    name: str
+    op_type: OpType
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    def attr(self, key: str, default: object = None) -> object:
+        return self.attrs.get(key, default)
+
+    @property
+    def role(self) -> str:
+        """Semantic role tag used by pattern matching (may be empty)."""
+        return str(self.attrs.get("role", ""))
+
+
+@dataclass
+class Graph:
+    """A dataflow graph of operations over named values."""
+
+    name: str
+    operations: list[Operation] = field(default_factory=list)
+    values: dict[str, TensorType] = field(default_factory=dict)
+
+    def add_value(self, name: str, value_type: TensorType) -> str:
+        if name in self.values:
+            raise ValueError(f"value {name!r} already defined")
+        self.values[name] = value_type
+        return name
+
+    def add_operation(self, operation: Operation) -> Operation:
+        if any(existing.name == operation.name for existing in self.operations):
+            raise ValueError(f"operation {operation.name!r} already defined")
+        for value in operation.inputs:
+            if value not in self.values:
+                raise ValueError(f"operation {operation.name!r} uses undefined value {value!r}")
+        for value in operation.outputs:
+            if value not in self.values:
+                raise ValueError(
+                    f"operation {operation.name!r} produces undefined value {value!r}"
+                )
+        self.operations.append(operation)
+        return operation
+
+    def operation(self, name: str) -> Operation:
+        for operation in self.operations:
+            if operation.name == name:
+                return operation
+        raise KeyError(f"no operation named {name!r}")
+
+    def producers(self, value: str) -> list[Operation]:
+        return [op for op in self.operations if value in op.outputs]
+
+    def consumers(self, value: str) -> list[Operation]:
+        return [op for op in self.operations if value in op.inputs]
+
+    def operations_of_type(self, op_type: OpType) -> list[Operation]:
+        return [op for op in self.operations if op.op_type is op_type]
+
+
+def build_decoder_graph(model: LLMConfig, context_length: int, layer: int = 0) -> Graph:
+    """Build the IR graph of one decoder layer's decode step.
+
+    The graph mirrors Fig. 1 of the paper: QKV projection, per-KV-head
+    ``QK^T``, softmax and ``SV`` against the KV cache (whose token dimension
+    is tagged dynamic), output projection and the FFN matrices.
+    """
+    if context_length <= 0:
+        raise ValueError("context_length must be positive")
+    graph = Graph(name=f"{model.name}.layer{layer}.decode")
+    dtype = model.dtype_bytes
+
+    hidden = graph.add_value("hidden", TensorType((1, model.d_model), dtype))
+    qkv_out_dim = model.d_model + 2 * model.kv_dim
+    graph.add_value("qkv_weight", TensorType((model.d_model, qkv_out_dim), dtype))
+    graph.add_value("qkv", TensorType((1, qkv_out_dim), dtype))
+    graph.add_operation(
+        Operation(
+            name="qkv_proj",
+            op_type=OpType.MATMUL,
+            inputs=[hidden, "qkv_weight"],
+            outputs=["qkv"],
+            attrs={"role": "fc", "weight": "qkv_weight"},
+        )
+    )
+
+    graph.add_value("kv_cache_k", TensorType((context_length, model.kv_dim), dtype))
+    graph.add_value("kv_cache_v", TensorType((context_length, model.kv_dim), dtype))
+    graph.add_value("kv_cache_k_next", TensorType((context_length + 1, model.kv_dim), dtype))
+    graph.add_value("kv_cache_v_next", TensorType((context_length + 1, model.kv_dim), dtype))
+    graph.add_operation(
+        Operation(
+            name="append_kv",
+            op_type=OpType.CONCAT_KV,
+            inputs=["qkv", "kv_cache_k", "kv_cache_v"],
+            outputs=["kv_cache_k_next", "kv_cache_v_next"],
+            attrs={"dynamic_dim": "context_length"},
+        )
+    )
+
+    for kv_head in range(model.num_kv_heads):
+        scores = f"scores_kv{kv_head}"
+        probs = f"probs_kv{kv_head}"
+        attended = f"attended_kv{kv_head}"
+        graph.add_value(scores, TensorType((model.gqa_group_size, context_length + 1), dtype))
+        graph.add_value(probs, TensorType((model.gqa_group_size, context_length + 1), dtype))
+        graph.add_value(attended, TensorType((model.gqa_group_size, model.head_dim), dtype))
+        graph.add_operation(
+            Operation(
+                name=f"qkt_kv{kv_head}",
+                op_type=OpType.MATMUL,
+                inputs=["qkv", "kv_cache_k_next"],
+                outputs=[scores],
+                attrs={
+                    "role": "qkt",
+                    "kv_head": kv_head,
+                    "dynamic_dim": "context_length",
+                    "group_size": model.gqa_group_size,
+                },
+            )
+        )
+        graph.add_operation(
+            Operation(
+                name=f"softmax_kv{kv_head}",
+                op_type=OpType.SOFTMAX,
+                inputs=[scores],
+                outputs=[probs],
+                attrs={"kv_head": kv_head},
+            )
+        )
+        graph.add_operation(
+            Operation(
+                name=f"sv_kv{kv_head}",
+                op_type=OpType.MATMUL,
+                inputs=[probs, "kv_cache_v_next"],
+                outputs=[attended],
+                attrs={
+                    "role": "sv",
+                    "kv_head": kv_head,
+                    "dynamic_dim": "context_length",
+                    "group_size": model.gqa_group_size,
+                },
+            )
+        )
+
+    graph.add_value("attn_concat", TensorType((1, model.d_model), dtype))
+    graph.add_operation(
+        Operation(
+            name="concat_heads",
+            op_type=OpType.ELEMENTWISE,
+            inputs=[f"attended_kv{h}" for h in range(model.num_kv_heads)],
+            outputs=["attn_concat"],
+        )
+    )
+
+    graph.add_value("out_weight", TensorType((model.d_model, model.d_model), dtype))
+    graph.add_value("attn_out", TensorType((1, model.d_model), dtype))
+    graph.add_operation(
+        Operation(
+            name="out_proj",
+            op_type=OpType.MATMUL,
+            inputs=["attn_concat", "out_weight"],
+            outputs=["attn_out"],
+            attrs={"role": "fc", "weight": "out_weight"},
+        )
+    )
+
+    ffn_matrices = ["ffn_gate", "ffn_up"] if model.gated_ffn else ["ffn_up"]
+    for matrix in ffn_matrices:
+        graph.add_value(f"{matrix}_weight", TensorType((model.d_model, model.ffn_dim), dtype))
+        graph.add_value(f"{matrix}_out", TensorType((1, model.ffn_dim), dtype))
+        graph.add_operation(
+            Operation(
+                name=matrix,
+                op_type=OpType.MATMUL,
+                inputs=["attn_out", f"{matrix}_weight"],
+                outputs=[f"{matrix}_out"],
+                attrs={"role": "fc", "weight": f"{matrix}_weight"},
+            )
+        )
+    graph.add_value("ffn_down_weight", TensorType((model.ffn_dim, model.d_model), dtype))
+    graph.add_value("layer_out", TensorType((1, model.d_model), dtype))
+    graph.add_operation(
+        Operation(
+            name="ffn_down",
+            op_type=OpType.MATMUL,
+            inputs=["ffn_up_out", "ffn_down_weight"],
+            outputs=["layer_out"],
+            attrs={"role": "fc", "weight": "ffn_down_weight"},
+        )
+    )
+    return graph

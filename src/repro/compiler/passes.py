@@ -1,0 +1,187 @@
+"""Compiler pass pipeline producing PIM instruction streams.
+
+The pipeline mirrors the paper's Fig. 12: the decoder graph is pattern
+matched, PIM-amenable kernels are assigned a partitioning (HFP or TCP), the
+kernels are lowered to module-level instruction streams, and -- when DPA is
+enabled -- token-dependent loops are re-encoded with ``DYN-LOOP`` /
+``DYN-MODI`` so the stream size no longer grows with the context length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.dpa_encoding import (
+    dpa_instruction_footprint,
+    encode_attention_loop,
+    static_instruction_footprint,
+)
+from repro.compiler.ir import Graph, build_decoder_graph
+from repro.compiler.lowering import lower_operator_to_instructions
+from repro.compiler.patterns import detect_attention_patterns, detect_fc_operations
+from repro.models.llm import LLMConfig
+from repro.pim.config import PIMModuleConfig
+from repro.pim.isa import PIMInstruction
+
+
+@dataclass
+class CompiledProgram:
+    """Output of the compilation pipeline for one decoder layer."""
+
+    graph: Graph
+    attention_instructions: list[PIMInstruction] = field(default_factory=list)
+    fc_instructions: list[PIMInstruction] = field(default_factory=list)
+    partitioning: str = "tcp"
+    dpa_enabled: bool = True
+    instruction_bytes: int = 0
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> int:
+        return len(self.attention_instructions) + len(self.fc_instructions)
+
+
+class CompilerPass:
+    """Base class for compilation passes."""
+
+    name = "pass"
+
+    def run(self, program: CompiledProgram) -> CompiledProgram:
+        raise NotImplementedError
+
+
+class PatternDetectionPass(CompilerPass):
+    """Annotate the program with detected attention and FC patterns."""
+
+    name = "pattern-detection"
+
+    def run(self, program: CompiledProgram) -> CompiledProgram:
+        patterns = detect_attention_patterns(program.graph)
+        fc_ops = detect_fc_operations(program.graph)
+        program.metadata["attention_patterns"] = patterns
+        program.metadata["fc_operations"] = fc_ops
+        return program
+
+
+class PartitioningPass(CompilerPass):
+    """Record the intra-module partitioning strategy for attention kernels."""
+
+    name = "partitioning"
+
+    def __init__(self, strategy: str, module: PIMModuleConfig) -> None:
+        if strategy not in ("hfp", "tcp"):
+            raise ValueError("partitioning strategy must be 'hfp' or 'tcp'")
+        self.strategy = strategy
+        self.module = module
+
+    def run(self, program: CompiledProgram) -> CompiledProgram:
+        program.partitioning = self.strategy
+        if self.strategy == "tcp":
+            channel_mask = (1 << self.module.num_channels) - 1
+        else:
+            channel_mask = 1
+        program.metadata["attention_channel_mask"] = channel_mask
+        return program
+
+
+class LoweringPass(CompilerPass):
+    """Lower matched kernels to module-level PIM instructions."""
+
+    name = "lowering"
+
+    def __init__(self, module: PIMModuleConfig, context_length: int) -> None:
+        self.module = module
+        self.context_length = context_length
+
+    def run(self, program: CompiledProgram) -> CompiledProgram:
+        patterns = program.metadata.get("attention_patterns", [])
+        fc_ops = program.metadata.get("fc_operations", [])
+        channel_mask = int(
+            program.metadata.get(
+                "attention_channel_mask", (1 << self.module.num_channels) - 1
+            )
+        )
+        active_channels = max(1, bin(channel_mask).count("1"))
+        token_groups = max(1, -(-self.context_length // 16))
+        op_size = max(1, token_groups // active_channels)
+
+        attention_instructions: list[PIMInstruction] = []
+        for pattern in patterns:
+            attention_instructions.extend(
+                lower_operator_to_instructions(pattern.qkt, channel_mask, op_size)
+            )
+            attention_instructions.extend(
+                lower_operator_to_instructions(pattern.sv, channel_mask, op_size)
+            )
+        fc_instructions: list[PIMInstruction] = []
+        full_mask = (1 << self.module.num_channels) - 1
+        for operation in fc_ops:
+            weight_name = str(operation.attr("weight", ""))
+            weight_type = program.graph.values.get(weight_name)
+            rows = weight_type.shape[0] if weight_type is not None else 1
+            fc_instructions.extend(
+                lower_operator_to_instructions(
+                    operation, full_mask, max(1, rows // (16 * self.module.num_channels))
+                )
+            )
+        program.attention_instructions = attention_instructions
+        program.fc_instructions = fc_instructions
+        return program
+
+
+class DPAEncodingPass(CompilerPass):
+    """Re-encode attention loops with DPA and account instruction footprints."""
+
+    name = "dpa-encoding"
+
+    def __init__(self, enabled: bool, context_length: int, kv_heads: int) -> None:
+        self.enabled = enabled
+        self.context_length = context_length
+        self.kv_heads = kv_heads
+
+    def run(self, program: CompiledProgram) -> CompiledProgram:
+        program.dpa_enabled = self.enabled
+        if self.enabled and program.attention_instructions:
+            encoded = encode_attention_loop(tuple(program.attention_instructions[:3]))
+            program.metadata["encoded_attention_loop"] = encoded
+            program.instruction_bytes = dpa_instruction_footprint(
+                self.context_length, kv_heads=self.kv_heads
+            ) + len(program.fc_instructions) * 8
+        else:
+            program.instruction_bytes = static_instruction_footprint(
+                self.context_length, kv_heads=self.kv_heads
+            ) + len(program.fc_instructions) * 8
+        return program
+
+
+@dataclass
+class PassManager:
+    """Runs an ordered list of compiler passes."""
+
+    passes: list[CompilerPass] = field(default_factory=list)
+
+    def add(self, compiler_pass: CompilerPass) -> "PassManager":
+        self.passes.append(compiler_pass)
+        return self
+
+    def run(self, program: CompiledProgram) -> CompiledProgram:
+        for compiler_pass in self.passes:
+            program = compiler_pass.run(program)
+        return program
+
+
+def compile_decoder(
+    model: LLMConfig,
+    context_length: int,
+    module: PIMModuleConfig,
+    partitioning: str = "tcp",
+    dpa_enabled: bool = True,
+) -> CompiledProgram:
+    """Compile one decoder layer for a PIM module (offline, as in the paper)."""
+    graph = build_decoder_graph(model, context_length)
+    manager = PassManager()
+    manager.add(PatternDetectionPass())
+    manager.add(PartitioningPass(partitioning, module))
+    manager.add(LoweringPass(module, context_length))
+    manager.add(DPAEncodingPass(dpa_enabled, context_length, model.num_kv_heads))
+    return manager.run(CompiledProgram(graph=graph))

@@ -1,0 +1,26 @@
+"""PIMphony core: TCP partitioning, DCS scheduling, DPA memory management."""
+
+from repro.core.dcs import DCSScheduler
+from repro.core.dispatcher import OnModuleDispatcher
+from repro.core.dpa import DPAController
+from repro.core.orchestrator import PIMphony, PIMphonyConfig
+from repro.core.partitioning import (
+    AttentionTask,
+    ChannelAssignment,
+    HeadFirstPartitioner,
+    TokenCentricPartitioner,
+    evaluate_assignment,
+)
+
+__all__ = [
+    "AttentionTask",
+    "ChannelAssignment",
+    "HeadFirstPartitioner",
+    "TokenCentricPartitioner",
+    "evaluate_assignment",
+    "DCSScheduler",
+    "DPAController",
+    "OnModuleDispatcher",
+    "PIMphony",
+    "PIMphonyConfig",
+]

@@ -1,0 +1,143 @@
+"""On-module PIM instruction dispatcher, paper Sec. VI-C and Fig. 11(a).
+
+The dispatcher lives in the PIM HUB and expands compact DPA-encoded
+instruction sequences into executable instruction streams at run time.  It
+holds three structures: an instruction buffer with the DPA-encoded kernels,
+a configuration buffer with per-request metadata (request id, current token
+length), and the VA2PA table used to resolve virtual row addresses.  Token
+progression after every decoding step is handled locally, so the host is
+only contacted when a request is assigned, grows past its mapped chunks, or
+completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.dpa_encoding import EncodedLoop
+from repro.memory.va2pa import VA2PATable
+from repro.pim.isa import PIMInstruction, PIMOpcode
+
+
+@dataclass
+class RequestContext:
+    """Per-request entry of the dispatcher's configuration buffer."""
+
+    request_id: int
+    token_length: int
+    tokens_per_iteration: int = 16
+
+    @property
+    def loop_bound(self) -> int:
+        """Iterations of the DPA loop for the current token length."""
+        return -(-self.token_length // self.tokens_per_iteration)
+
+
+@dataclass
+class OnModuleDispatcher:
+    """Expands DPA-encoded instruction sequences per request at run time."""
+
+    va2pa: VA2PATable
+    instruction_buffer: dict[str, EncodedLoop] = field(default_factory=dict)
+    config_buffer: dict[int, RequestContext] = field(default_factory=dict)
+    host_messages: int = 0
+
+    # -- host-facing setup ----------------------------------------------------
+
+    def load_kernel(self, name: str, encoded: EncodedLoop) -> None:
+        """Install a DPA-encoded kernel into the instruction buffer."""
+        self.instruction_buffer[name] = encoded
+
+    def assign_request(self, request_id: int, initial_tokens: int) -> None:
+        """Register a new request's metadata (one host->module message)."""
+        if request_id in self.config_buffer:
+            raise ValueError(f"request {request_id} already assigned")
+        self.config_buffer[request_id] = RequestContext(
+            request_id=request_id, token_length=initial_tokens
+        )
+        self.host_messages += 1
+
+    def complete_request(self, request_id: int) -> None:
+        """Release a request's metadata (one module->host message)."""
+        if request_id in self.config_buffer:
+            del self.config_buffer[request_id]
+            self.host_messages += 1
+
+    # -- decode-time operation -------------------------------------------------
+
+    def advance_token(self, request_id: int, count: int = 1) -> None:
+        """Increment a request's token length locally (no host involvement)."""
+        context = self._context(request_id)
+        context.token_length += count
+
+    def dispatch(self, kernel_name: str, request_id: int) -> list[PIMInstruction]:
+        """Expand a DPA kernel into the executable stream for one request.
+
+        The ``DYN-LOOP`` bound is resolved from the request's current token
+        length and every ``MAC`` row operand is translated through the VA2PA
+        table, so the emitted stream addresses the physically allocated,
+        possibly non-contiguous KV-cache chunks.
+        """
+        encoded = self.instruction_buffer.get(kernel_name)
+        if encoded is None:
+            raise KeyError(f"kernel {kernel_name!r} is not loaded")
+        context = self._context(request_id)
+
+        body = [
+            instruction
+            for instruction in encoded.instructions
+            if not instruction.opcode.is_control
+        ]
+        stream: list[PIMInstruction] = []
+        for iteration in range(context.loop_bound):
+            for instruction in body:
+                if instruction.opcode is PIMOpcode.MAC:
+                    virtual_address = iteration * self.va2pa.chunk_bytes // max(
+                        1, context.loop_bound
+                    )
+                    physical = self._translate_or_identity(request_id, virtual_address)
+                    stream.append(
+                        PIMInstruction(
+                            opcode=instruction.opcode,
+                            ch_mask=instruction.ch_mask,
+                            op_size=instruction.op_size,
+                            gbuf_idx=instruction.gbuf_idx,
+                            out_idx=instruction.out_idx,
+                            row=physical // self.va2pa.chunk_bytes,
+                            col=iteration,
+                        )
+                    )
+                else:
+                    stream.append(instruction)
+        return stream
+
+    def expanded_length(self, kernel_name: str, request_id: int) -> int:
+        """Number of instructions :meth:`dispatch` would emit (cheap)."""
+        encoded = self.instruction_buffer.get(kernel_name)
+        if encoded is None:
+            raise KeyError(f"kernel {kernel_name!r} is not loaded")
+        context = self._context(request_id)
+        return context.loop_bound * encoded.body_instructions
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _context(self, request_id: int) -> RequestContext:
+        context = self.config_buffer.get(request_id)
+        if context is None:
+            raise KeyError(f"request {request_id} is not assigned to this module")
+        return context
+
+    def _translate_or_identity(self, request_id: int, virtual_address: int) -> int:
+        try:
+            return self.va2pa.translate(request_id, virtual_address)
+        except KeyError:
+            return virtual_address
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Approximate SRAM footprint of the dispatcher's buffers."""
+        instruction_bytes = sum(
+            encoded.encoded_bytes for encoded in self.instruction_buffer.values()
+        )
+        config_bytes = 16 * len(self.config_buffer)
+        return instruction_bytes + config_bytes + self.va2pa.table_bytes

@@ -1,0 +1,256 @@
+"""Intra-module attention partitioning: HFP (baseline) vs. TCP (PIMphony).
+
+Head/Batch-First Partitioning (HFP) assigns whole (request, KV-head) pairs
+to channels.  With long contexts the number of such pairs resident in one
+module shrinks (a single request can fill a channel), so channels idle and
+imbalance between requests of different lengths caps throughput at the
+slowest channel (paper Sec. IV-A/B, Fig. 6(b,c)).
+
+Token-Centric Partitioning (TCP) splits the *token* dimension of every
+(request, KV-head) pair across all channels of the module, so every channel
+works on an equal token share regardless of batch composition
+(Fig. 6(d,e)).  ``SV`` partial results are reduced once per module through
+the PIM HUB's GPR/EPU; the reduction cost is modelled explicitly and is
+negligible (<0.2% of attention latency in the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.pim.config import PIMChannelConfig
+from repro.pim.kernels import attention_head_cycles
+from repro.pim.simulator import CycleBreakdown, ZERO_BREAKDOWN
+from repro.pim.timing import PIMTiming
+
+
+@dataclass(frozen=True)
+class AttentionTask:
+    """One (request, KV-head) attention slice to be mapped onto channels.
+
+    Attributes:
+        request_id: Owning request.
+        kv_head: KV-head index within the layer.
+        context_length: Tokens currently in this request's KV cache.
+        group_size: Query heads sharing this KV head (GQA group size).
+    """
+
+    request_id: int
+    kv_head: int
+    context_length: int
+    group_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.context_length < 0:
+            raise ValueError("context_length must be non-negative")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class TaskSlice:
+    """A share of one attention task assigned to a specific channel."""
+
+    task: AttentionTask
+    tokens: int
+
+
+@dataclass
+class ChannelAssignment:
+    """Result of partitioning attention tasks across a module's channels."""
+
+    num_channels: int
+    slices: dict[int, list[TaskSlice]] = field(default_factory=dict)
+    strategy: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        for channel in range(self.num_channels):
+            self.slices.setdefault(channel, [])
+
+    def add(self, channel: int, task: AttentionTask, tokens: int) -> None:
+        if channel < 0 or channel >= self.num_channels:
+            raise ValueError(f"channel {channel} outside 0..{self.num_channels - 1}")
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        if tokens > 0:
+            self.slices[channel].append(TaskSlice(task=task, tokens=tokens))
+
+    def tokens_per_channel(self) -> list[int]:
+        return [
+            sum(task_slice.tokens for task_slice in self.slices[channel])
+            for channel in range(self.num_channels)
+        ]
+
+    @property
+    def active_channels(self) -> int:
+        return sum(1 for tokens in self.tokens_per_channel() if tokens > 0)
+
+    @property
+    def load_balance(self) -> float:
+        """Mean channel load divided by max channel load (1.0 = balanced)."""
+        loads = self.tokens_per_channel()
+        peak = max(loads, default=0)
+        if peak == 0:
+            return 0.0
+        return sum(loads) / (len(loads) * peak)
+
+
+class Partitioner:
+    """Base class for intra-module attention partitioning strategies."""
+
+    name = "base"
+
+    def partition(
+        self, tasks: Sequence[AttentionTask], num_channels: int
+    ) -> ChannelAssignment:
+        raise NotImplementedError
+
+
+class HeadFirstPartitioner(Partitioner):
+    """Baseline HFP: whole (request, KV-head) pairs per channel, round-robin.
+
+    Tasks are placed on the currently least-loaded channel, which is the
+    strongest reasonable version of the baseline (simple round-robin is
+    strictly worse under length imbalance).
+    """
+
+    name = "hfp"
+
+    def partition(
+        self, tasks: Sequence[AttentionTask], num_channels: int
+    ) -> ChannelAssignment:
+        assignment = ChannelAssignment(num_channels=num_channels, strategy=self.name)
+        loads = [0] * num_channels
+        ordered = sorted(tasks, key=lambda task: -task.context_length)
+        for task in ordered:
+            channel = min(range(num_channels), key=lambda index: loads[index])
+            assignment.add(channel, task, task.context_length)
+            loads[channel] += task.context_length
+        return assignment
+
+
+class TokenCentricPartitioner(Partitioner):
+    """PIMphony TCP: split every task's tokens across all channels."""
+
+    name = "tcp"
+
+    def partition(
+        self, tasks: Sequence[AttentionTask], num_channels: int
+    ) -> ChannelAssignment:
+        assignment = ChannelAssignment(num_channels=num_channels, strategy=self.name)
+        for task in tasks:
+            base, remainder = divmod(task.context_length, num_channels)
+            for channel in range(num_channels):
+                tokens = base + (1 if channel < remainder else 0)
+                assignment.add(channel, task, tokens)
+        return assignment
+
+
+@dataclass(frozen=True)
+class AssignmentEvaluation:
+    """Latency and utilisation of a partitioned attention step on a module."""
+
+    channel_cycles: tuple[float, ...]
+    module_cycles: float
+    reduction_cycles: float
+    channel_utilization: float
+    breakdown: CycleBreakdown
+
+    @property
+    def total_cycles(self) -> float:
+        return self.module_cycles + self.reduction_cycles
+
+
+def _reduction_cycles(
+    assignment: ChannelAssignment, head_dim: int, timing: PIMTiming
+) -> float:
+    """Cost of the per-module SV partial-result reduction through the HUB.
+
+    Only TCP needs it: each channel contributes one ``head_dim`` wide partial
+    vector per (request, KV-head, query) and the EPU reduces them.  Channels
+    stream their partials to the GPR over independent per-channel links, so
+    the reduction time is governed by one channel's contribution stream.
+    """
+    if assignment.strategy != "tcp":
+        return 0.0
+    contributions = 0
+    for channel in range(assignment.num_channels):
+        for task_slice in assignment.slices[channel]:
+            contributions += task_slice.task.group_size
+    tiles = -(-head_dim // 16)
+    per_channel_contributions = contributions / max(1, assignment.num_channels)
+    return float(per_channel_contributions * tiles * timing.dram.t_ccds)
+
+
+def evaluate_assignment(
+    assignment: ChannelAssignment,
+    head_dim: int,
+    channel: PIMChannelConfig,
+    timing: PIMTiming,
+    policy: str,
+    row_reuse: bool = True,
+) -> AssignmentEvaluation:
+    """Evaluate the attention latency of an assignment on one module.
+
+    Each channel executes the ``QK^T`` + ``SV`` kernels of its assigned token
+    slices back to back; the module finishes when its slowest channel does.
+    Channel utilisation is the mean busy fraction across all channels, which
+    is the quantity plotted in paper Fig. 4.
+    """
+    channel_cycles: list[float] = []
+    channel_breakdowns: list[CycleBreakdown] = []
+    for index in range(assignment.num_channels):
+        breakdown = ZERO_BREAKDOWN
+        for task_slice in assignment.slices[index]:
+            breakdown = breakdown + attention_head_cycles(
+                tokens=task_slice.tokens,
+                head_dim=head_dim,
+                channel=channel,
+                timing=timing,
+                policy=policy,
+                group_size=task_slice.task.group_size,
+                row_reuse=row_reuse,
+            )
+        channel_cycles.append(breakdown.total)
+        channel_breakdowns.append(breakdown)
+
+    module_cycles = max(channel_cycles, default=0.0)
+    reduction = _reduction_cycles(assignment, head_dim, timing)
+    if module_cycles > 0:
+        utilization = sum(channel_cycles) / (len(channel_cycles) * module_cycles)
+    else:
+        utilization = 0.0
+
+    aggregate = ZERO_BREAKDOWN
+    for breakdown in channel_breakdowns:
+        aggregate = aggregate + breakdown
+    return AssignmentEvaluation(
+        channel_cycles=tuple(channel_cycles),
+        module_cycles=module_cycles,
+        reduction_cycles=reduction,
+        channel_utilization=utilization,
+        breakdown=aggregate,
+    )
+
+
+def tasks_from_batch(
+    context_lengths: Iterable[int],
+    num_kv_heads: int,
+    group_size: int = 1,
+) -> list[AttentionTask]:
+    """Build the attention task list of one decode step for one module."""
+    tasks = []
+    for request_id, context in enumerate(context_lengths):
+        for kv_head in range(num_kv_heads):
+            tasks.append(
+                AttentionTask(
+                    request_id=request_id,
+                    kv_head=kv_head,
+                    context_length=context,
+                    group_size=group_size,
+                )
+            )
+    return tasks

@@ -1,0 +1,72 @@
+"""Per-bank row-buffer state machine.
+
+The PIM command simulator tracks, for each bank, which row is currently open
+so that ``MAC`` commands hitting the open row proceed immediately while
+commands targeting a different row pay the precharge + activate penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.timing import DRAMTiming
+
+
+@dataclass
+class BankState:
+    """Row-buffer state of a single DRAM bank.
+
+    Attributes:
+        timing: DRAM timing parameters.
+        open_row: Index of the currently open row, or ``None`` when all rows
+            are precharged (idle).
+        activations: Number of row activations performed so far.
+        row_hits: Number of accesses that hit the open row.
+    """
+
+    timing: DRAMTiming
+    open_row: int | None = None
+    activations: int = 0
+    row_hits: int = 0
+    _act_pre_cycles: int = field(default=0, repr=False)
+
+    def access(self, row: int) -> int:
+        """Access ``row``; return the extra cycles spent switching rows.
+
+        A row hit costs zero extra cycles.  A row miss costs ``tRCD`` if the
+        bank was idle, or ``tRP + tRCD`` if another row was open.
+        """
+        if row < 0:
+            raise ValueError("row index must be non-negative")
+        if self.open_row == row:
+            self.row_hits += 1
+            return 0
+        if self.open_row is None:
+            penalty = self.timing.t_rcd
+        else:
+            penalty = self.timing.row_switch_cycles
+        self.open_row = row
+        self.activations += 1
+        self._act_pre_cycles += penalty
+        return penalty
+
+    def precharge(self) -> int:
+        """Close the open row; return the cycles spent."""
+        if self.open_row is None:
+            return 0
+        self.open_row = None
+        self._act_pre_cycles += self.timing.t_rp
+        return self.timing.t_rp
+
+    @property
+    def act_pre_cycles(self) -> int:
+        """Total cycles spent on activate/precharge so far."""
+        return self._act_pre_cycles
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that hit the open row."""
+        total = self.activations + self.row_hits
+        if total == 0:
+            return 0.0
+        return self.row_hits / total

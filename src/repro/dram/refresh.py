@@ -1,0 +1,37 @@
+"""DRAM refresh overhead model.
+
+Refresh is modelled as a rate: every ``tREFI`` cycles the device is blocked
+for ``tRFC`` cycles.  The command simulator accounts for it by inflating the
+busy time of a window by the refresh fraction, which is accurate for windows
+much longer than ``tREFI`` (always the case for kernel executions) and keeps
+the simulator simple and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DRAMTiming
+
+
+@dataclass(frozen=True)
+class RefreshModel:
+    """Rate-based refresh overhead model."""
+
+    timing: DRAMTiming
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Extra time added per cycle of useful work."""
+        available = 1.0 - self.timing.refresh_fraction
+        return self.timing.refresh_fraction / available
+
+    def refresh_cycles(self, busy_cycles: float) -> float:
+        """Refresh cycles incurred while executing ``busy_cycles`` of work."""
+        if busy_cycles < 0:
+            raise ValueError("busy_cycles must be non-negative")
+        return busy_cycles * self.overhead_fraction
+
+    def with_refresh(self, busy_cycles: float) -> float:
+        """Total cycles including refresh for ``busy_cycles`` of work."""
+        return busy_cycles + self.refresh_cycles(busy_cycles)

@@ -1,0 +1,70 @@
+"""DRAM timing parameters.
+
+The values model a GDDR6-class accelerator-in-memory (AiM) device at the
+granularity the PIM command simulator needs: row activate/precharge costs,
+the minimum command-to-command interval for 32B tile transfers, refresh
+overhead and the row-buffer geometry.  Absolute values follow typical GDDR6
+datasheet ratios; the reproduction depends on the *relative* structure
+(ACT/PRE ≫ tCCDS, refresh a few percent) rather than any specific bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing parameters of one DRAM-PIM channel, in controller clock cycles.
+
+    Attributes:
+        clock_ghz: Controller clock frequency (cycles per nanosecond).
+        t_ccds: Minimum interval between consecutive 32B tile commands on the
+            data bus (tCCD_S).
+        t_rcd: Row activate to first access delay (tRCD).
+        t_rp: Precharge latency (tRP).
+        t_rfc: Refresh cycle time (tRFC) -- the bank group is blocked for
+            this long per refresh.
+        t_refi: Average refresh interval (tREFI).
+        row_bytes: Bytes per DRAM row per bank (row-buffer size).
+    """
+
+    clock_ghz: float = 1.0
+    t_ccds: int = 2
+    t_rcd: int = 18
+    t_rp: int = 18
+    t_rfc: int = 350
+    t_refi: int = 3900
+    row_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        for name in ("t_ccds", "t_rcd", "t_rp", "t_rfc", "t_refi", "row_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.t_rfc >= self.t_refi:
+            raise ValueError("t_rfc must be smaller than t_refi")
+
+    @property
+    def row_switch_cycles(self) -> int:
+        """Cycles to close the open row and activate a new one (tRP + tRCD)."""
+        return self.t_rp + self.t_rcd
+
+    @property
+    def refresh_fraction(self) -> float:
+        """Fraction of time the device is unavailable due to refresh."""
+        return self.t_rfc / self.t_refi
+
+    @property
+    def tiles_per_row(self) -> int:
+        """Number of 32B tiles held by one open row."""
+        return self.row_bytes // 32
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert controller cycles to wall-clock seconds."""
+        return cycles / (self.clock_ghz * 1e9)
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert wall-clock seconds to controller cycles."""
+        return seconds * self.clock_ghz * 1e9

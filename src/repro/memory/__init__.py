@@ -1,0 +1,15 @@
+"""KV-cache memory management: static reservation vs. lazy chunk allocation."""
+
+from repro.memory.capacity import CapacityTracker, CapacityUsage
+from repro.memory.chunked_alloc import AllocationError, ChunkedAllocator
+from repro.memory.static_alloc import StaticAllocator
+from repro.memory.va2pa import VA2PATable
+
+__all__ = [
+    "AllocationError",
+    "StaticAllocator",
+    "ChunkedAllocator",
+    "VA2PATable",
+    "CapacityTracker",
+    "CapacityUsage",
+]

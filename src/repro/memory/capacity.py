@@ -1,0 +1,48 @@
+"""Capacity-utilisation accounting across a serving run (paper Fig. 19)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CapacityUsage:
+    """A single capacity sample."""
+
+    step: int
+    allocated_bytes: int
+    used_bytes: int
+
+    @property
+    def utilization(self) -> float:
+        if self.allocated_bytes == 0:
+            return 0.0
+        return self.used_bytes / self.allocated_bytes
+
+
+@dataclass
+class CapacityTracker:
+    """Accumulates capacity samples over the decode steps of a serving run."""
+
+    samples: list[CapacityUsage] = field(default_factory=list)
+
+    def record(self, step: int, allocated_bytes: int, used_bytes: int) -> None:
+        if allocated_bytes < 0 or used_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.samples.append(
+            CapacityUsage(step=step, allocated_bytes=allocated_bytes, used_bytes=used_bytes)
+        )
+
+    @property
+    def average_utilization(self) -> float:
+        """Mean of per-sample utilisation over samples with allocations."""
+        meaningful = [s.utilization for s in self.samples if s.allocated_bytes > 0]
+        if not meaningful:
+            return 0.0
+        return sum(meaningful) / len(meaningful)
+
+    @property
+    def peak_allocated_bytes(self) -> int:
+        if not self.samples:
+            return 0
+        return max(s.allocated_bytes for s in self.samples)

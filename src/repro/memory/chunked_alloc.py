@@ -1,0 +1,149 @@
+"""Lazy, chunk-granular KV-cache allocation enabled by DPA (Sec. VI).
+
+Instead of reserving ``T_max`` per request, memory is handed out in fixed
+chunks (1MB by default, matching the paper) on demand as a request's KV
+cache grows.  Internal fragmentation is limited to the final, partially
+filled chunk of each request, which raises capacity utilisation to ~75% on
+the paper's workloads (Fig. 19 with DPA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.static_alloc import AllocationError
+from repro.memory.va2pa import VA2PATable
+
+DEFAULT_CHUNK_BYTES = 1 * 1024 * 1024
+"""Default allocation chunk size (1MB, as in the paper)."""
+
+
+@dataclass
+class ChunkedAllocator:
+    """On-demand chunk allocator backed by a VA2PA translation table.
+
+    Attributes:
+        capacity_bytes: Total bytes available for KV cache.
+        bytes_per_token: KV bytes appended per token.
+        chunk_bytes: Allocation granularity.
+    """
+
+    capacity_bytes: int
+    bytes_per_token: int
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    _table: VA2PATable = field(init=False, repr=False)
+    _free_chunks: list[int] = field(init=False, repr=False)
+    _tokens: dict[int, int] = field(default_factory=dict, repr=False)
+    host_interventions: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if self.bytes_per_token <= 0 or self.chunk_bytes <= 0:
+            raise ValueError("bytes_per_token and chunk_bytes must be positive")
+        self._table = VA2PATable(chunk_bytes=self.chunk_bytes)
+        self._free_chunks = list(range(self.capacity_bytes // self.chunk_bytes))[::-1]
+
+    # -- sizing helpers ---------------------------------------------------
+
+    @property
+    def total_chunks(self) -> int:
+        return self.capacity_bytes // self.chunk_bytes
+
+    @property
+    def free_chunk_count(self) -> int:
+        return len(self._free_chunks)
+
+    @property
+    def allocated_chunk_count(self) -> int:
+        return self.total_chunks - self.free_chunk_count
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.allocated_chunk_count * self.chunk_bytes
+
+    @property
+    def table(self) -> VA2PATable:
+        """The VA2PA translation table maintained by the dispatcher."""
+        return self._table
+
+    def chunks_needed(self, tokens: int) -> int:
+        """Chunks required to back ``tokens`` worth of KV cache."""
+        if tokens <= 0:
+            return 0
+        return -(-(tokens * self.bytes_per_token) // self.chunk_bytes)
+
+    def can_admit(self, initial_tokens: int) -> bool:
+        """Whether a request with the given context currently fits."""
+        return self.chunks_needed(initial_tokens) <= self.free_chunk_count
+
+    # -- allocation lifecycle ----------------------------------------------
+
+    def admit(self, request_id: int, initial_tokens: int) -> None:
+        """Admit a request and lazily allocate chunks for its prefix.
+
+        Raises:
+            AllocationError: if the request's current KV cache does not fit.
+        """
+        if request_id in self._tokens:
+            raise ValueError(f"request {request_id} already admitted")
+        needed = self.chunks_needed(initial_tokens)
+        if needed > self.free_chunk_count:
+            raise AllocationError("insufficient free chunks to admit request")
+        for virtual_chunk in range(needed):
+            self._table.map(request_id, virtual_chunk, self._free_chunks.pop())
+        self._tokens[request_id] = initial_tokens
+        self.host_interventions += 1
+
+    def append_token(self, request_id: int, count: int = 1) -> None:
+        """Grow a request's KV cache, allocating a new chunk when needed.
+
+        Raises:
+            AllocationError: if a new chunk is required but none is free.
+        """
+        if request_id not in self._tokens:
+            raise KeyError(f"request {request_id} is not admitted")
+        current = self._tokens[request_id]
+        have = self.chunks_needed(current)
+        need = self.chunks_needed(current + count)
+        extra = need - have
+        if extra > self.free_chunk_count:
+            raise AllocationError("out of chunks while growing the KV cache")
+        for virtual_chunk in range(have, need):
+            self._table.map(request_id, virtual_chunk, self._free_chunks.pop())
+        if extra > 0:
+            self.host_interventions += 1
+        self._tokens[request_id] = current + count
+
+    def release(self, request_id: int) -> None:
+        """Free every chunk owned by a request."""
+        if request_id not in self._tokens:
+            return
+        freed = self._table.release(request_id)
+        self._free_chunks.extend(freed)
+        del self._tokens[request_id]
+        self.host_interventions += 1
+
+    # -- metrics ------------------------------------------------------------
+
+    @property
+    def num_requests(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes backing live tokens (excludes last-chunk fragmentation)."""
+        return sum(tokens * self.bytes_per_token for tokens in self._tokens.values())
+
+    @property
+    def capacity_utilization(self) -> float:
+        """Live-token bytes divided by allocated bytes (Fig. 19 metric)."""
+        allocated = self.allocated_bytes
+        if allocated == 0:
+            return 0.0
+        return self.used_bytes / allocated
+
+    @property
+    def fragmentation_bytes(self) -> int:
+        """Bytes allocated but not backing live tokens."""
+        return self.allocated_bytes - self.used_bytes

@@ -1,0 +1,77 @@
+"""Virtual-to-physical address translation table (paper Sec. VI-C).
+
+The on-module dispatcher keeps, per request, a mapping from virtual chunk
+indices (the logical, contiguous view of that request's KV cache) to
+physical chunk indices in the module's DRAM.  The table is what allows DPA
+instructions to reference dynamically allocated, non-contiguous memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TranslationError(KeyError):
+    """Raised when a virtual address has no physical mapping."""
+
+
+@dataclass
+class VA2PATable:
+    """Per-module VA-to-PA chunk translation table.
+
+    Attributes:
+        chunk_bytes: Size of one allocation chunk.
+        entries: Mapping ``(request_id, virtual_chunk) -> physical_chunk``.
+    """
+
+    chunk_bytes: int
+    entries: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+
+    def map(self, request_id: int, virtual_chunk: int, physical_chunk: int) -> None:
+        """Install a mapping for one virtual chunk of a request."""
+        if virtual_chunk < 0 or physical_chunk < 0:
+            raise ValueError("chunk indices must be non-negative")
+        key = (request_id, virtual_chunk)
+        if key in self.entries and self.entries[key] != physical_chunk:
+            raise ValueError(f"virtual chunk {key} is already mapped to {self.entries[key]}")
+        self.entries[key] = physical_chunk
+
+    def translate(self, request_id: int, virtual_address: int) -> int:
+        """Translate a virtual byte address of a request to a physical one."""
+        if virtual_address < 0:
+            raise ValueError("virtual_address must be non-negative")
+        virtual_chunk, offset = divmod(virtual_address, self.chunk_bytes)
+        key = (request_id, virtual_chunk)
+        if key not in self.entries:
+            raise TranslationError(f"no mapping for request {request_id} chunk {virtual_chunk}")
+        return self.entries[key] * self.chunk_bytes + offset
+
+    def chunks_of(self, request_id: int) -> list[int]:
+        """Physical chunks mapped for a request, in virtual order."""
+        mapped = [
+            (virtual, physical)
+            for (req, virtual), physical in self.entries.items()
+            if req == request_id
+        ]
+        return [physical for _, physical in sorted(mapped)]
+
+    def release(self, request_id: int) -> list[int]:
+        """Remove all mappings of a request and return the freed chunks."""
+        freed = self.chunks_of(request_id)
+        self.entries = {
+            key: value for key, value in self.entries.items() if key[0] != request_id
+        }
+        return freed
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def table_bytes(self) -> int:
+        """Approximate SRAM footprint of the table (8B per entry)."""
+        return 8 * len(self.entries)

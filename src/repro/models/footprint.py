@@ -1,0 +1,49 @@
+"""Memory-footprint analysis of long-context decoding (paper Fig. 2(b)).
+
+The decode-time footprint is the model parameters plus the KV cache; the KV
+cache grows linearly with both context length and batch size and quickly
+exceeds single-accelerator capacity (the A100-80GB line in Fig. 2(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.kv_cache import kv_cache_bytes
+from repro.models.llm import LLMConfig
+
+A100_CAPACITY_BYTES = 80 * 1024**3
+"""Capacity of one NVIDIA A100-80GB, the reference line in Fig. 2(b)."""
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Decode-time memory footprint decomposition."""
+
+    param_bytes: int
+    kv_cache_bytes: int
+    activation_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.param_bytes + self.kv_cache_bytes + self.activation_bytes
+
+    @property
+    def total_gib(self) -> float:
+        return self.total_bytes / 1024**3
+
+    def fits(self, capacity_bytes: int) -> bool:
+        """Whether this footprint fits in the given capacity."""
+        return self.total_bytes <= capacity_bytes
+
+
+def memory_footprint(model: LLMConfig, context_length: int, batch_size: int) -> MemoryFootprint:
+    """Decode-time memory footprint for a batch at a given context length."""
+    if context_length < 0 or batch_size < 0:
+        raise ValueError("context_length and batch_size must be non-negative")
+    activations = batch_size * model.d_model * model.dtype_bytes * 4
+    return MemoryFootprint(
+        param_bytes=model.param_bytes,
+        kv_cache_bytes=kv_cache_bytes(model, context_length, batch_size),
+        activation_bytes=activations,
+    )

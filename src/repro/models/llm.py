@@ -1,0 +1,206 @@
+"""LLM architectural configurations (paper Table I).
+
+The paper evaluates four decoder-only transformer configurations:
+
+* ``LLM-7B-32K``  -- Qwen1.5-7B-like,  no GQA, 32K context window.
+* ``LLM-7B-128K`` -- Llama3.1-8B-like, GQA group size 4, 128K context window.
+* ``LLM-72B-32K`` -- Qwen1.5-72B-like, no GQA, 32K context window.
+* ``LLM-72B-128K``-- Llama3.1-70B-like, GQA group size 8, 128K context window.
+
+Only the architectural shape matters for performance modelling, so the
+configurations carry layer counts and dimensions, not weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LLMConfig:
+    """Architectural description of a decoder-only transformer.
+
+    Attributes:
+        name: Human readable identifier, e.g. ``"LLM-7B-128K"``.
+        num_layers: Number of transformer decoder layers (``nl``).
+        num_heads: Number of query heads per layer (``nh``).
+        head_dim: Per-head feature dimension (``dh``).
+        d_model: Model (hidden) dimension, ``nh * dh``.
+        ffn_dim: Feed-forward intermediate dimension.
+        gqa_group_size: Number of query heads sharing one KV head.  ``1``
+            means standard multi-head attention (no GQA).
+        context_window: Maximum supported context length in tokens.
+        dtype_bytes: Bytes per parameter / activation element (FP16 = 2).
+        gated_ffn: Whether the FFN uses a gated (SwiGLU-style) structure
+            with three weight matrices instead of two.
+    """
+
+    name: str
+    num_layers: int
+    num_heads: int
+    head_dim: int
+    d_model: int
+    ffn_dim: int
+    gqa_group_size: int
+    context_window: int
+    dtype_bytes: int = 2
+    gated_ffn: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.num_heads <= 0 or self.head_dim <= 0:
+            raise ValueError("layer/head/dim counts must be positive")
+        if self.d_model != self.num_heads * self.head_dim:
+            raise ValueError(
+                f"d_model ({self.d_model}) must equal num_heads*head_dim "
+                f"({self.num_heads * self.head_dim})"
+            )
+        if self.gqa_group_size < 1:
+            raise ValueError("gqa_group_size must be >= 1")
+        if self.num_heads % self.gqa_group_size != 0:
+            raise ValueError("num_heads must be divisible by gqa_group_size")
+        if self.context_window <= 0:
+            raise ValueError("context_window must be positive")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+
+    @property
+    def gqa_enabled(self) -> bool:
+        """Whether grouped-query attention is in use."""
+        return self.gqa_group_size > 1
+
+    @property
+    def num_kv_heads(self) -> int:
+        """Number of distinct key/value heads per layer."""
+        return self.num_heads // self.gqa_group_size
+
+    @property
+    def kv_dim(self) -> int:
+        """Total key (or value) vector width per token per layer."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def kv_bytes_per_token_per_layer(self) -> int:
+        """Bytes of K + V cache appended per token in one layer."""
+        return 2 * self.kv_dim * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """Bytes of K + V cache appended per token across all layers."""
+        return self.num_layers * self.kv_bytes_per_token_per_layer
+
+    @property
+    def attention_param_count(self) -> int:
+        """Attention projection parameters per layer (Q, K, V, O)."""
+        q_and_o = 2 * self.d_model * self.d_model
+        k_and_v = 2 * self.d_model * self.kv_dim
+        return q_and_o + k_and_v
+
+    @property
+    def ffn_param_count(self) -> int:
+        """Feed-forward parameters per layer."""
+        matrices = 3 if self.gated_ffn else 2
+        return matrices * self.d_model * self.ffn_dim
+
+    @property
+    def param_count(self) -> int:
+        """Total decoder parameter count (embeddings excluded)."""
+        return self.num_layers * (self.attention_param_count + self.ffn_param_count)
+
+    @property
+    def param_bytes(self) -> int:
+        """Total decoder parameter footprint in bytes."""
+        return self.param_count * self.dtype_bytes
+
+    def with_context_window(self, context_window: int) -> "LLMConfig":
+        """Return a copy of this config with a different context window."""
+        return LLMConfig(
+            name=self.name,
+            num_layers=self.num_layers,
+            num_heads=self.num_heads,
+            head_dim=self.head_dim,
+            d_model=self.d_model,
+            ffn_dim=self.ffn_dim,
+            gqa_group_size=self.gqa_group_size,
+            context_window=context_window,
+            dtype_bytes=self.dtype_bytes,
+            gated_ffn=self.gated_ffn,
+        )
+
+
+_MODELS: dict[str, LLMConfig] = {}
+
+
+def _register(config: LLMConfig) -> LLMConfig:
+    _MODELS[config.name] = config
+    return config
+
+
+LLM_7B_32K = _register(
+    LLMConfig(
+        name="LLM-7B-32K",
+        num_layers=32,
+        num_heads=32,
+        head_dim=128,
+        d_model=4096,
+        ffn_dim=12288,
+        gqa_group_size=1,
+        context_window=32 * 1024,
+    )
+)
+
+LLM_7B_128K = _register(
+    LLMConfig(
+        name="LLM-7B-128K",
+        num_layers=32,
+        num_heads=32,
+        head_dim=128,
+        d_model=4096,
+        ffn_dim=12288,
+        gqa_group_size=4,
+        context_window=128 * 1024,
+    )
+)
+
+LLM_72B_32K = _register(
+    LLMConfig(
+        name="LLM-72B-32K",
+        num_layers=80,
+        num_heads=64,
+        head_dim=128,
+        d_model=8192,
+        ffn_dim=24576,
+        gqa_group_size=1,
+        context_window=32 * 1024,
+    )
+)
+
+LLM_72B_128K = _register(
+    LLMConfig(
+        name="LLM-72B-128K",
+        num_layers=80,
+        num_heads=64,
+        head_dim=128,
+        d_model=8192,
+        ffn_dim=24576,
+        gqa_group_size=8,
+        context_window=128 * 1024,
+    )
+)
+
+
+def list_models() -> list[str]:
+    """Return the names of all registered model configurations."""
+    return sorted(_MODELS)
+
+
+def get_model(name: str) -> LLMConfig:
+    """Look up a registered model configuration by name.
+
+    Raises:
+        KeyError: if ``name`` is not a registered model.
+    """
+    try:
+        return _MODELS[name]
+    except KeyError:
+        known = ", ".join(list_models())
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None

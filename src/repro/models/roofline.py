@@ -1,0 +1,56 @@
+"""Compute-intensity analysis of long-context decoding (paper Fig. 2(a)).
+
+As context length grows, attention (GEMV against the KV cache) dominates the
+decode step and the aggregate compute intensity (FLOPs per byte) collapses,
+making decoding memory-bandwidth bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.models.llm import LLMConfig
+from repro.models.workload import build_decode_workload
+
+
+def compute_intensity(model: LLMConfig, context_length: int, batch_size: int = 1) -> float:
+    """FLOPs per byte of one decode step at the given context length."""
+    workload = build_decode_workload(model, [context_length] * batch_size)
+    return workload.compute_intensity
+
+
+@dataclass(frozen=True)
+class IntensityPoint:
+    """One point of the compute-intensity sweep."""
+
+    context_length: int
+    batch_size: int
+    flops: int
+    bytes_moved: int
+    compute_intensity: float
+    attention_byte_fraction: float
+
+
+def decode_compute_intensity_sweep(
+    model: LLMConfig,
+    context_lengths: Sequence[int],
+    batch_size: int = 1,
+) -> list[IntensityPoint]:
+    """Sweep compute intensity across context lengths (Fig. 2(a))."""
+    points = []
+    for context in context_lengths:
+        workload = build_decode_workload(model, [context] * batch_size)
+        total_bytes = workload.total_bytes
+        attention_fraction = workload.attention_bytes / total_bytes if total_bytes else 0.0
+        points.append(
+            IntensityPoint(
+                context_length=context,
+                batch_size=batch_size,
+                flops=workload.total_flops,
+                bytes_moved=total_bytes,
+                compute_intensity=workload.compute_intensity,
+                attention_byte_fraction=attention_fraction,
+            )
+        )
+    return points

@@ -1,0 +1,239 @@
+"""Per-decode-step operator workload model.
+
+During autoregressive decoding each request processes exactly one new token
+per step.  The workload of a decode step therefore consists of matrix-vector
+products against the model weights (the FC operators: QKV projection, output
+projection and the FFN matrices) and matrix-vector products against the
+request's KV cache (the attention operators ``QK^T`` and ``SV``).
+
+Fully-connected operators can be batched into matrix-matrix products across
+requests (the weight is shared), whereas attention operators are inherently
+per-request because every request owns a distinct KV cache.  This asymmetry
+is the source of the memory-bandwidth bottleneck analysed in the paper's
+Fig. 2(a).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.models.llm import LLMConfig
+
+
+class OperatorKind(enum.Enum):
+    """Classification of decode-step operators."""
+
+    FC = "fc"
+    ATTENTION_QKT = "qkt"
+    ATTENTION_SV = "sv"
+    SOFTMAX = "softmax"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One operator instance within a decode step.
+
+    Attributes:
+        name: Human readable operator name, e.g. ``"layer0.qkt.head3"``.
+        kind: Operator classification.
+        in_dim: Reduction (input) dimension of the matrix-vector product.
+        out_dim: Output dimension of the matrix-vector product.
+        batch: Number of token-vectors processed together (requests sharing
+            the same weights for FC operators; always 1 for attention).
+        weight_bytes: Bytes of stationary operand (weights or KV cache slice)
+            that must be read from memory.
+        activation_bytes: Bytes of streaming operand (inputs + outputs).
+        flops: Floating point operations (multiply-accumulate counted as 2).
+        per_request: Whether the operator is instantiated per request
+            (attention) or shared across the batch (FC).
+    """
+
+    name: str
+    kind: OperatorKind
+    in_dim: int
+    out_dim: int
+    batch: int
+    weight_bytes: int
+    activation_bytes: int
+    flops: int
+    per_request: bool
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved by the operator."""
+        return self.weight_bytes + self.activation_bytes
+
+    @property
+    def compute_intensity(self) -> float:
+        """FLOPs per byte moved."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.flops / self.total_bytes
+
+
+@dataclass
+class DecodeStepWorkload:
+    """All operators of one decode step for a batch of requests.
+
+    Attributes:
+        model: The LLM configuration the workload was built from.
+        context_lengths: Per-request context length at this decode step.
+        operators: Flat operator list.
+    """
+
+    model: LLMConfig
+    context_lengths: Sequence[int]
+    operators: list[Operator] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.context_lengths)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(op.flops for op in self.operators)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(op.total_bytes for op in self.operators)
+
+    @property
+    def compute_intensity(self) -> float:
+        """Aggregate FLOPs per byte of the decode step (Fig. 2(a) metric)."""
+        total_bytes = self.total_bytes
+        if total_bytes == 0:
+            return 0.0
+        return self.total_flops / total_bytes
+
+    def operators_of_kind(self, *kinds: OperatorKind) -> list[Operator]:
+        wanted = set(kinds)
+        return [op for op in self.operators if op.kind in wanted]
+
+    @property
+    def fc_flops(self) -> int:
+        return sum(op.flops for op in self.operators_of_kind(OperatorKind.FC))
+
+    @property
+    def attention_flops(self) -> int:
+        return sum(
+            op.flops
+            for op in self.operators_of_kind(OperatorKind.ATTENTION_QKT, OperatorKind.ATTENTION_SV)
+        )
+
+    @property
+    def fc_bytes(self) -> int:
+        return sum(op.total_bytes for op in self.operators_of_kind(OperatorKind.FC))
+
+    @property
+    def attention_bytes(self) -> int:
+        return sum(
+            op.total_bytes
+            for op in self.operators_of_kind(OperatorKind.ATTENTION_QKT, OperatorKind.ATTENTION_SV)
+        )
+
+
+def _fc_operator(name: str, in_dim: int, out_dim: int, batch: int, dtype_bytes: int) -> Operator:
+    weight_bytes = in_dim * out_dim * dtype_bytes
+    activation_bytes = batch * (in_dim + out_dim) * dtype_bytes
+    flops = 2 * batch * in_dim * out_dim
+    return Operator(
+        name=name,
+        kind=OperatorKind.FC,
+        in_dim=in_dim,
+        out_dim=out_dim,
+        batch=batch,
+        weight_bytes=weight_bytes,
+        activation_bytes=activation_bytes,
+        flops=flops,
+        per_request=False,
+    )
+
+
+def build_decode_workload(
+    model: LLMConfig,
+    context_lengths: Sequence[int],
+    include_softmax: bool = False,
+) -> DecodeStepWorkload:
+    """Build the operator list for one decode step.
+
+    Args:
+        model: LLM configuration.
+        context_lengths: Current context length of every request in the batch.
+        include_softmax: Whether to emit explicit softmax operators (they are
+            executed on the EPU / xPU and carry negligible data movement, so
+            they are omitted from performance modelling by default).
+
+    Returns:
+        A :class:`DecodeStepWorkload` with per-layer FC operators (batched
+        across requests) and per-request, per-KV-head attention operators.
+    """
+    if any(length < 1 for length in context_lengths):
+        raise ValueError("all context lengths must be >= 1")
+    batch = len(context_lengths)
+    workload = DecodeStepWorkload(model=model, context_lengths=list(context_lengths))
+    if batch == 0:
+        return workload
+
+    dtype = model.dtype_bytes
+    ops = workload.operators
+    for layer in range(model.num_layers):
+        prefix = f"layer{layer}"
+        qkv_out = model.d_model + 2 * model.kv_dim
+        ops.append(_fc_operator(f"{prefix}.qkv_proj", model.d_model, qkv_out, batch, dtype))
+
+        for request, context in enumerate(context_lengths):
+            for kv_head in range(model.num_kv_heads):
+                # One KV head serves `gqa_group_size` query heads: the key
+                # matrix is read once but multiplied against g query vectors.
+                group = model.gqa_group_size
+                kv_slice_bytes = context * model.head_dim * dtype
+                qkt_flops = 2 * group * context * model.head_dim
+                ops.append(
+                    Operator(
+                        name=f"{prefix}.qkt.req{request}.kv{kv_head}",
+                        kind=OperatorKind.ATTENTION_QKT,
+                        in_dim=model.head_dim,
+                        out_dim=context,
+                        batch=group,
+                        weight_bytes=kv_slice_bytes,
+                        activation_bytes=group * (model.head_dim + context) * dtype,
+                        flops=qkt_flops,
+                        per_request=True,
+                    )
+                )
+                if include_softmax:
+                    ops.append(
+                        Operator(
+                            name=f"{prefix}.softmax.req{request}.kv{kv_head}",
+                            kind=OperatorKind.SOFTMAX,
+                            in_dim=context,
+                            out_dim=context,
+                            batch=group,
+                            weight_bytes=0,
+                            activation_bytes=2 * group * context * dtype,
+                            flops=5 * group * context,
+                            per_request=True,
+                        )
+                    )
+                ops.append(
+                    Operator(
+                        name=f"{prefix}.sv.req{request}.kv{kv_head}",
+                        kind=OperatorKind.ATTENTION_SV,
+                        in_dim=context,
+                        out_dim=model.head_dim,
+                        batch=group,
+                        weight_bytes=kv_slice_bytes,
+                        activation_bytes=group * (context + model.head_dim) * dtype,
+                        flops=2 * group * context * model.head_dim,
+                        per_request=True,
+                    )
+                )
+
+        ops.append(_fc_operator(f"{prefix}.out_proj", model.d_model, model.d_model, batch, dtype))
+        if model.gated_ffn:
+            ops.append(_fc_operator(f"{prefix}.ffn_gate", model.d_model, model.ffn_dim, batch, dtype))
+        ops.append(_fc_operator(f"{prefix}.ffn_up", model.d_model, model.ffn_dim, batch, dtype))
+        ops.append(_fc_operator(f"{prefix}.ffn_down", model.ffn_dim, model.d_model, batch, dtype))
+    return workload

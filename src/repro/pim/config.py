@@ -1,0 +1,157 @@
+"""PIM channel / module configuration (paper Fig. 3 and Table IV).
+
+A PIM module contains a PIM HUB (instruction sequencer, multicast
+interconnect, GPR, EPU) and a number of PIM channels.  Each channel contains
+banks with per-bank vector MAC units, a shared Global Buffer for inputs and
+Output Registers (expanded to Output Buffers under DCS) for results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pim.timing import PIMTiming, aimx_timing
+
+TILE_BYTES = 32
+"""Bytes per PIM data tile (16 FP16 elements)."""
+
+ELEMENTS_PER_TILE = 16
+"""FP16 elements per 32B tile."""
+
+
+@dataclass(frozen=True)
+class PIMChannelConfig:
+    """Configuration of a single PIM channel.
+
+    Attributes:
+        num_banks: DRAM banks (each with a vector MAC unit) in the channel.
+        gbuf_bytes: Global Buffer capacity (shared input buffer).
+        outreg_bytes_per_bank: Output Register capacity per bank in the
+            baseline design (4 bytes = two FP16 accumulators).
+        obuf_bytes_per_bank: Output Buffer capacity per bank when PIMphony's
+            I/O-aware buffering is enabled.
+        mac_elements_per_command: Elements multiply-accumulated per bank per
+            ``MAC`` command.
+        capacity_bytes: DRAM capacity of the channel.
+    """
+
+    num_banks: int = 16
+    gbuf_bytes: int = 2048
+    outreg_bytes_per_bank: int = 4
+    obuf_bytes_per_bank: int = 32
+    mac_elements_per_command: int = ELEMENTS_PER_TILE
+    capacity_bytes: int = 1 * 1024**3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_banks",
+            "gbuf_bytes",
+            "outreg_bytes_per_bank",
+            "obuf_bytes_per_bank",
+            "mac_elements_per_command",
+            "capacity_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.gbuf_bytes % TILE_BYTES != 0:
+            raise ValueError("gbuf_bytes must be a multiple of the 32B tile size")
+
+    @property
+    def gbuf_entries(self) -> int:
+        """Number of 32B tiles the Global Buffer can hold."""
+        return self.gbuf_bytes // TILE_BYTES
+
+    @property
+    def outreg_entries(self) -> int:
+        """Output-group entries available in the baseline Output Registers."""
+        return self.outreg_bytes_per_bank // 2
+
+    @property
+    def obuf_entries(self) -> int:
+        """Output-group entries available with expanded Output Buffers."""
+        return self.obuf_bytes_per_bank // 2
+
+    @property
+    def macs_per_command(self) -> int:
+        """Multiply-accumulates performed by one channel ``MAC`` command."""
+        return self.num_banks * self.mac_elements_per_command
+
+    @property
+    def flops_per_command(self) -> int:
+        """FLOPs per channel ``MAC`` command (MAC counted as 2 FLOPs)."""
+        return 2 * self.macs_per_command
+
+
+@dataclass(frozen=True)
+class PIMModuleConfig:
+    """Configuration of a PIM module (paper Table IV rows).
+
+    Attributes:
+        name: Configuration name (``"neupims-module"`` or ``"cent-module"``).
+        num_channels: PIM channels per module.
+        channel: Per-channel configuration.
+        capacity_bytes: Total module DRAM capacity.
+        internal_bandwidth_bytes: Aggregate internal (all-bank) bandwidth.
+        gpr_bytes: General-purpose register file in the PIM HUB.
+        compute_tflops: Non-PIM compute co-located with the module (matrix
+            units for the NeuPIMs module, the PNM processor for CENT).
+        timing: PIM command timing of every channel in the module.
+    """
+
+    name: str
+    num_channels: int
+    channel: PIMChannelConfig
+    capacity_bytes: int
+    internal_bandwidth_bytes: float
+    gpr_bytes: int = 512 * 1024
+    compute_tflops: float = 0.0
+    timing: PIMTiming = field(default_factory=aimx_timing)
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.internal_bandwidth_bytes <= 0:
+            raise ValueError("internal_bandwidth_bytes must be positive")
+
+    @property
+    def capacity_per_channel(self) -> int:
+        """DRAM capacity per channel."""
+        return self.capacity_bytes // self.num_channels
+
+    @property
+    def total_banks(self) -> int:
+        return self.num_channels * self.channel.num_banks
+
+    @property
+    def peak_mac_flops_per_cycle(self) -> int:
+        """Peak FLOPs per cycle with every channel issuing MACs at tCCD_S."""
+        per_channel = self.channel.flops_per_command / self.timing.mac_occupancy
+        return int(per_channel * self.num_channels)
+
+
+def neupims_module_config() -> PIMModuleConfig:
+    """NeuPIMs-style module: 32GB, 32 PIM channels, 32TB/s internal BW."""
+    channel = PIMChannelConfig(capacity_bytes=1 * 1024**3)
+    return PIMModuleConfig(
+        name="neupims-module",
+        num_channels=32,
+        channel=channel,
+        capacity_bytes=32 * 1024**3,
+        internal_bandwidth_bytes=32e12,
+        compute_tflops=256.0,
+    )
+
+
+def cent_module_config() -> PIMModuleConfig:
+    """CENT-style module: 16GB, 32 PIM channels, 16TB/s internal BW."""
+    channel = PIMChannelConfig(capacity_bytes=512 * 1024**2)
+    return PIMModuleConfig(
+        name="cent-module",
+        num_channels=32,
+        channel=channel,
+        capacity_bytes=16 * 1024**3,
+        internal_bandwidth_bytes=16e12,
+        compute_tflops=3.0,
+    )

@@ -1,0 +1,221 @@
+"""Functional (numerical) execution of PIM command streams.
+
+The timing simulator answers *how long* a command stream takes; this module
+answers *what it computes*.  A :class:`FunctionalChannel` models the data
+path of one PIM channel -- per-bank DRAM tiles, the shared Global Buffer,
+per-bank output accumulators -- and executes ``WR-INP`` / ``MAC`` /
+``RD-OUT`` streams against real numbers.  It is used to verify that
+
+* the GEMV lowering in ``repro.compiler.lowering`` computes the correct
+  matrix-vector product,
+* Token-Centric Partitioning plus the PIM-HUB reduction reproduces the exact
+  attention output of a single-device reference, and
+* DCS's out-of-order issue never changes results (schedulers only reorder
+  execution, the dataflow is fixed by the command stream).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pim.config import ELEMENTS_PER_TILE, PIMChannelConfig
+from repro.pim.isa import PIMCommand, PIMOpcode
+
+
+@dataclass
+class FunctionalChannel:
+    """Numerical model of one PIM channel's data path.
+
+    Attributes:
+        channel: Channel geometry (banks, buffer entry counts).
+        tiles_per_row: 16-element weight tiles held by one DRAM row per bank.
+    """
+
+    channel: PIMChannelConfig = field(default_factory=PIMChannelConfig)
+    tiles_per_row: int = 32
+    _gbuf: np.ndarray = field(init=False, repr=False)
+    _accumulators: np.ndarray = field(init=False, repr=False)
+    _weights: np.ndarray = field(init=False, repr=False)
+    _drained: list[np.ndarray] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        banks = self.channel.num_banks
+        self._gbuf = np.zeros((self.channel.gbuf_entries, ELEMENTS_PER_TILE), dtype=np.float64)
+        self._accumulators = np.zeros((self.channel.obuf_entries, banks), dtype=np.float64)
+        self._weights = np.zeros((banks, 0, ELEMENTS_PER_TILE), dtype=np.float64)
+        self._drained = []
+
+    # -- memory image -----------------------------------------------------
+
+    def load_weight_matrix(self, matrix: np.ndarray) -> None:
+        """Store a GEMV weight matrix into channel DRAM.
+
+        The layout matches :func:`repro.compiler.lowering.lower_gemv_to_commands`:
+        output element ``o`` lives in bank ``o % num_banks``; its weight row
+        is split into 16-element tiles stored at consecutive (row, col)
+        addresses, visited in output-group-major order.
+        """
+        out_dim, in_dim = matrix.shape
+        banks = self.channel.num_banks
+        n_in = -(-in_dim // ELEMENTS_PER_TILE)
+        n_groups = -(-out_dim // banks)
+        padded = np.zeros((n_groups * banks, n_in * ELEMENTS_PER_TILE), dtype=np.float64)
+        padded[:out_dim, :in_dim] = matrix
+        # tiles[bank, tile_index, :] with tile_index advancing group-major.
+        tiles = np.zeros((banks, n_groups * n_in, ELEMENTS_PER_TILE), dtype=np.float64)
+        for group in range(n_groups):
+            for bank in range(banks):
+                row = padded[group * banks + bank]
+                for tile in range(n_in):
+                    tiles[bank, group * n_in + tile] = row[
+                        tile * ELEMENTS_PER_TILE : (tile + 1) * ELEMENTS_PER_TILE
+                    ]
+        self._weights = tiles
+
+    def write_input_vector(self, vector: np.ndarray) -> list[np.ndarray]:
+        """Split an input vector into the 16-element tiles WR-INP transfers."""
+        length = -(-vector.size // ELEMENTS_PER_TILE) * ELEMENTS_PER_TILE
+        padded = np.zeros(length, dtype=np.float64)
+        padded[: vector.size] = vector
+        return [
+            padded[index : index + ELEMENTS_PER_TILE]
+            for index in range(0, length, ELEMENTS_PER_TILE)
+        ]
+
+    # -- command execution -------------------------------------------------
+
+    def execute(
+        self, commands: Sequence[PIMCommand], input_tiles: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Execute a command stream, consuming ``input_tiles`` per WR-INP.
+
+        Returns:
+            The list of drained output groups (one ``num_banks``-wide vector
+            per ``RD-OUT``), in drain order.
+
+        Raises:
+            ValueError: if the stream consumes more input tiles than provided
+                or references weights that were never loaded.
+        """
+        tile_iterator = iter(input_tiles)
+        self._drained = []
+        for command in commands:
+            if command.opcode is PIMOpcode.WR_INP:
+                try:
+                    tile = next(tile_iterator)
+                except StopIteration:
+                    raise ValueError("command stream consumes more input tiles than provided")
+                self._gbuf[command.gbuf_idx] = tile
+            elif command.opcode is PIMOpcode.MAC:
+                tile_index = command.row * self.tiles_per_row + command.col
+                if tile_index >= self._weights.shape[1]:
+                    raise ValueError(
+                        f"MAC references weight tile {tile_index} beyond the loaded matrix"
+                    )
+                weights = self._weights[:, tile_index, :]
+                self._accumulators[command.out_idx] += weights @ self._gbuf[command.gbuf_idx]
+            elif command.opcode is PIMOpcode.RD_OUT:
+                self._drained.append(self._accumulators[command.out_idx].copy())
+                self._accumulators[command.out_idx] = 0.0
+            else:
+                raise ValueError(f"{command.opcode} cannot execute on a channel")
+        return self._drained
+
+
+def execute_gemv(
+    matrix: np.ndarray,
+    vector: np.ndarray,
+    channel: PIMChannelConfig | None = None,
+    caps=None,
+) -> np.ndarray:
+    """Run a GEMV through lowering + functional execution and gather outputs.
+
+    This is the end-to-end functional path: the weight matrix is laid out in
+    channel DRAM, the GEMV is lowered to an explicit command stream, the
+    stream executes numerically, and the drained partial sums are reduced
+    exactly the way the PIM HUB's GPR/EPU would.
+    """
+    from repro.compiler.lowering import lower_gemv_to_commands
+    from repro.pim.kernels import caps_for_policy
+
+    resolved_channel = channel if channel is not None else PIMChannelConfig()
+    resolved_caps = caps if caps is not None else caps_for_policy(resolved_channel, "dcs")
+    out_dim, in_dim = matrix.shape
+    banks = resolved_channel.num_banks
+    n_in = -(-in_dim // ELEMENTS_PER_TILE)
+    n_groups = -(-out_dim // banks)
+    block = min(n_in, resolved_caps.gbuf_entries)
+
+    functional = FunctionalChannel(channel=resolved_channel)
+    functional.load_weight_matrix(matrix)
+    commands = lower_gemv_to_commands(in_dim, out_dim, resolved_channel, resolved_caps)
+
+    # WR-INP order follows the lowering: per input block, the block's tiles.
+    all_tiles = functional.write_input_vector(vector)
+    ordered_tiles = []
+    for block_start in range(0, n_in, block):
+        ordered_tiles.extend(all_tiles[block_start : block_start + min(block, n_in - block_start)])
+
+    drained = functional.execute(commands, ordered_tiles)
+
+    # Partial sums: one drain per (input block, output group); accumulate per
+    # group across blocks (the GPR/EPU reduction) and concatenate groups.
+    result = np.zeros(n_groups * banks, dtype=np.float64)
+    n_blocks = -(-n_in // block)
+    for block_index in range(n_blocks):
+        for group in range(n_groups):
+            drain = drained[block_index * n_groups + group]
+            result[group * banks : (group + 1) * banks] += drain
+    return result[:out_dim]
+
+
+def reference_attention(
+    query: np.ndarray, keys: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Single-head attention reference: softmax(q K^T / sqrt(d)) V."""
+    scale = 1.0 / np.sqrt(query.shape[-1])
+    scores = keys @ query * scale
+    probs = np.exp(scores - scores.max())
+    probs /= probs.sum()
+    return values.T @ probs
+
+
+def tcp_attention(
+    query: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    num_channels: int,
+) -> np.ndarray:
+    """Token-Centric-Partitioned attention executed per channel-slice.
+
+    The token axis is split across ``num_channels`` slices; each slice
+    computes its scores and its partial ``SV`` product, and the PIM HUB
+    reduction combines the partial numerators and normalisers -- numerically
+    identical to the single-device reference (a flash-decoding style
+    combination).
+    """
+    tokens = keys.shape[0]
+    if tokens == 0:
+        return np.zeros(values.shape[1], dtype=np.float64)
+    scale = 1.0 / np.sqrt(query.shape[-1])
+    boundaries = np.linspace(0, tokens, num_channels + 1, dtype=int)
+
+    numerator = np.zeros(values.shape[1], dtype=np.float64)
+    denominator = 0.0
+    running_max = -np.inf
+    for channel in range(num_channels):
+        start, stop = boundaries[channel], boundaries[channel + 1]
+        if start == stop:
+            continue
+        scores = keys[start:stop] @ query * scale
+        slice_max = scores.max()
+        new_max = max(running_max, slice_max)
+        weights = np.exp(scores - new_max)
+        correction = np.exp(running_max - new_max) if np.isfinite(running_max) else 0.0
+        numerator = numerator * correction + values[start:stop].T @ weights
+        denominator = denominator * correction + weights.sum()
+        running_max = new_max
+    return numerator / denominator

@@ -1,0 +1,152 @@
+"""PIM instruction set (paper Table III and Fig. 10(b)).
+
+Two levels exist:
+
+* :class:`PIMInstruction` -- module-level instructions received by the PIM
+  HUB.  ``Op-size`` tells the Instruction Sequencer how many channel
+  commands to unroll; ``Ch-mask`` selects the target channels.
+* :class:`PIMCommand` -- channel-level commands produced by the Multicast
+  Interconnect and consumed by a PIM controller.  These are what the
+  command-level simulator schedules.
+
+The DPA extension adds two instructions: ``DYN-LOOP`` (a loop whose bound is
+resolved from the request's current token length at dispatch time) and
+``DYN-MODI`` (strides an operand field of the following instruction, which
+combined with the VA2PA table yields runtime virtual-to-physical address
+translation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PIMOpcode(enum.Enum):
+    """Opcodes of the PIM ISA."""
+
+    WR_INP = "WR-INP"
+    MAC = "MAC"
+    RD_OUT = "RD-OUT"
+    DYN_LOOP = "DYN-LOOP"
+    DYN_MODI = "DYN-MODI"
+
+    @property
+    def is_io(self) -> bool:
+        """Whether the opcode moves data between GPR and channel buffers."""
+        return self in (PIMOpcode.WR_INP, PIMOpcode.RD_OUT)
+
+    @property
+    def is_compute(self) -> bool:
+        """Whether the opcode occupies the per-bank MAC units."""
+        return self is PIMOpcode.MAC
+
+    @property
+    def is_control(self) -> bool:
+        """Whether the opcode is a DPA control instruction."""
+        return self in (PIMOpcode.DYN_LOOP, PIMOpcode.DYN_MODI)
+
+
+#: Encoded size, in bytes, of one instruction in the instruction buffer.
+INSTRUCTION_BYTES = 8
+
+
+@dataclass(frozen=True)
+class PIMInstruction:
+    """A module-level PIM instruction.
+
+    Attributes:
+        opcode: Instruction opcode.
+        ch_mask: Bit mask of target channels.
+        op_size: Repetition count unrolled by the Instruction Sequencer.
+        gpr_addr: Base GPR address for I/O instructions.
+        gbuf_idx: Global-buffer entry index (WR-INP destination / MAC source).
+        out_idx: Output-buffer entry index (MAC destination / RD-OUT source).
+        row: DRAM row address for MAC instructions (may be virtual under DPA).
+        col: DRAM column address for MAC instructions.
+        loop_bound_source: For ``DYN-LOOP``, the name of the runtime value
+            providing the loop bound (e.g. ``"token_length"``).
+        stride: For ``DYN-MODI``, the per-iteration stride applied to the
+            target operand field.
+        target_field: For ``DYN-MODI``, the operand field being strided.
+    """
+
+    opcode: PIMOpcode
+    ch_mask: int = 0xFFFF
+    op_size: int = 1
+    gpr_addr: int = -1
+    gbuf_idx: int = -1
+    out_idx: int = -1
+    row: int = -1
+    col: int = -1
+    loop_bound_source: str = ""
+    stride: int = 0
+    target_field: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op_size < 1:
+            raise ValueError("op_size must be >= 1")
+        if self.ch_mask < 0:
+            raise ValueError("ch_mask must be non-negative")
+
+    @property
+    def target_channels(self) -> list[int]:
+        """Channel indices selected by the channel mask."""
+        channels = []
+        mask = self.ch_mask
+        index = 0
+        while mask:
+            if mask & 1:
+                channels.append(index)
+            mask >>= 1
+            index += 1
+        return channels
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Footprint of the instruction in the instruction buffer."""
+        return INSTRUCTION_BYTES
+
+
+@dataclass(frozen=True)
+class PIMCommand:
+    """A channel-level PIM command scheduled by a PIM controller.
+
+    Attributes:
+        cmd_id: Unique, monotonically increasing identifier.
+        opcode: Command opcode (only WR-INP / MAC / RD-OUT reach a channel).
+        gbuf_idx: Global-buffer entry (WR-INP destination, MAC source).
+        out_idx: Output-buffer entry (MAC destination, RD-OUT source).
+        row: DRAM row targeted by MAC commands.
+        col: DRAM column targeted by MAC commands.
+    """
+
+    cmd_id: int
+    opcode: PIMOpcode
+    gbuf_idx: int = -1
+    out_idx: int = -1
+    row: int = -1
+    col: int = -1
+
+    def __post_init__(self) -> None:
+        if self.opcode.is_control:
+            raise ValueError("control instructions are expanded before reaching a channel")
+        if self.cmd_id < 0:
+            raise ValueError("cmd_id must be non-negative")
+
+
+def write_input(cmd_id: int, gbuf_idx: int) -> PIMCommand:
+    """Convenience constructor for a ``WR-INP`` command."""
+    return PIMCommand(cmd_id=cmd_id, opcode=PIMOpcode.WR_INP, gbuf_idx=gbuf_idx)
+
+
+def mac(cmd_id: int, gbuf_idx: int, out_idx: int, row: int = 0, col: int = 0) -> PIMCommand:
+    """Convenience constructor for a ``MAC`` command."""
+    return PIMCommand(
+        cmd_id=cmd_id, opcode=PIMOpcode.MAC, gbuf_idx=gbuf_idx, out_idx=out_idx, row=row, col=col
+    )
+
+
+def read_output(cmd_id: int, out_idx: int) -> PIMCommand:
+    """Convenience constructor for a ``RD-OUT`` command."""
+    return PIMCommand(cmd_id=cmd_id, opcode=PIMOpcode.RD_OUT, out_idx=out_idx)

@@ -1,0 +1,539 @@
+"""Kernel-level PIM latency models.
+
+End-to-end evaluation (128K--1M token contexts, tens of layers, dozens of
+requests) cannot schedule every individual ``MAC`` command, so this module
+provides a *phase-level* representation of channel kernels
+(:class:`KernelProgram`) and closed-form cycle estimators for the three
+scheduling policies (``static``, ``pingpong``, ``dcs``).  The estimators are
+derived from the same timing rules as the exact command-level schedulers and
+are cross-validated against them in the test suite.
+
+Three kernel builders cover the decode-step operators:
+
+* :func:`build_fc_gemv_program` -- weight-stationary GEMV for FC layers.
+* :func:`build_qkt_program` -- the ``QK^T`` attention score kernel.
+* :func:`build_sv_program` -- the ``SV`` attention value kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dram.refresh import RefreshModel
+from repro.pim.config import ELEMENTS_PER_TILE, PIMChannelConfig
+from repro.pim.isa import PIMOpcode
+from repro.pim.simulator import CycleBreakdown
+from repro.pim.timing import PIMTiming
+
+#: Scheduling policies understood by the estimators.
+POLICIES = ("static", "pingpong", "dcs")
+
+#: Input-refetch factor applied when GQA row-reuse mapping shares KV rows
+#: across the query group (paper Sec. V-C "Enabling KV Cache Reuse in GQA"):
+#: inputs (queries / scores) are swapped into the GBuf more frequently.
+GQA_ROW_REUSE_REFETCH = 2.0
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class BufferCaps:
+    """Effective buffer capacities available to a kernel mapping."""
+
+    gbuf_entries: int
+    obuf_entries: int
+
+    def __post_init__(self) -> None:
+        if self.gbuf_entries <= 0 or self.obuf_entries <= 0:
+            raise ValueError("buffer capacities must be positive")
+
+
+def caps_for_policy(channel: PIMChannelConfig, policy: str) -> BufferCaps:
+    """Buffer capacities a mapping may assume under a scheduling policy.
+
+    The static baseline only has the small Output Registers; PIMphony's
+    I/O-aware buffering exposes the expanded Output Buffers.  Ping-pong
+    buffering uses the same total capacity as DCS but each of its two
+    regions is half-sized, which is what the mapping can rely on.
+    """
+    if policy == "static":
+        return BufferCaps(channel.gbuf_entries, channel.outreg_entries)
+    if policy == "pingpong":
+        return BufferCaps(
+            max(1, channel.gbuf_entries // 2), max(1, channel.obuf_entries // 2)
+        )
+    if policy == "dcs":
+        return BufferCaps(channel.gbuf_entries, channel.obuf_entries)
+    raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+
+
+@dataclass(frozen=True)
+class KernelPhase:
+    """A run of identical-opcode commands within a kernel."""
+
+    opcode: PIMOpcode
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("phase count must be non-negative")
+
+
+@dataclass(frozen=True)
+class KernelSegment:
+    """A sequence of phases repeated a number of times."""
+
+    phases: tuple[KernelPhase, ...]
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeat < 0:
+            raise ValueError("segment repeat must be non-negative")
+
+    def count(self, opcode: PIMOpcode) -> int:
+        return self.repeat * sum(p.count for p in self.phases if p.opcode is opcode)
+
+
+@dataclass(frozen=True)
+class KernelProgram:
+    """Phase-level description of one channel kernel.
+
+    Attributes:
+        segments: Ordered segments of the kernel.
+        row_activations: Total DRAM row activations incurred (per bank, with
+            banks operating in lock step).
+        description: Human readable label.
+    """
+
+    segments: tuple[KernelSegment, ...]
+    row_activations: int
+    description: str = ""
+
+    def count(self, opcode: PIMOpcode) -> int:
+        return sum(segment.count(opcode) for segment in self.segments)
+
+    @property
+    def n_wr_inp(self) -> int:
+        return self.count(PIMOpcode.WR_INP)
+
+    @property
+    def n_mac(self) -> int:
+        return self.count(PIMOpcode.MAC)
+
+    @property
+    def n_rd_out(self) -> int:
+        return self.count(PIMOpcode.RD_OUT)
+
+    @property
+    def n_io_tiles(self) -> int:
+        """Total 32B tiles moved over the external interface."""
+        return self.n_wr_inp + self.n_rd_out
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n_mac == 0 and self.n_io_tiles == 0
+
+    def concatenated(self, other: "KernelProgram") -> "KernelProgram":
+        """Concatenate two programs executed back to back."""
+        return KernelProgram(
+            segments=self.segments + other.segments,
+            row_activations=self.row_activations + other.row_activations,
+            description=f"{self.description}+{other.description}",
+        )
+
+
+EMPTY_PROGRAM = KernelProgram(segments=(), row_activations=0, description="empty")
+
+
+# ---------------------------------------------------------------------------
+# Program builders
+# ---------------------------------------------------------------------------
+
+
+def _blocked_stream_segments(
+    n_in_tiles: int,
+    n_output_groups: int,
+    block: int,
+) -> tuple[KernelSegment, ...]:
+    """Segments of an input-streamed GEMV with partial-sum drains per block.
+
+    For every block of input tiles resident in the GBuf, the kernel performs
+    the block's partial dot products for every output group and drains the
+    partial sums; the PIM HUB's GPR/EPU accumulates partials across blocks.
+    """
+    if n_in_tiles == 0 or n_output_groups == 0:
+        return ()
+    block = max(1, block)
+    n_full_blocks, remainder = divmod(n_in_tiles, block)
+    segments: list[KernelSegment] = []
+    if n_full_blocks:
+        phases = [KernelPhase(PIMOpcode.WR_INP, block)]
+        phases.extend(
+            [KernelPhase(PIMOpcode.MAC, block), KernelPhase(PIMOpcode.RD_OUT, 1)]
+            * n_output_groups
+        )
+        segments.append(KernelSegment(tuple(phases), repeat=n_full_blocks))
+    if remainder:
+        phases = [KernelPhase(PIMOpcode.WR_INP, remainder)]
+        phases.extend(
+            [KernelPhase(PIMOpcode.MAC, remainder), KernelPhase(PIMOpcode.RD_OUT, 1)]
+            * n_output_groups
+        )
+        segments.append(KernelSegment(tuple(phases), repeat=1))
+    return tuple(segments)
+
+
+def _resident_input_segments(
+    n_in_tiles: int,
+    n_output_groups: int,
+    wr_count: int,
+) -> tuple[KernelSegment, ...]:
+    """Segments of a GEMV whose input tiles stay resident in the GBuf."""
+    if n_in_tiles == 0 or n_output_groups == 0:
+        return ()
+    segments = [KernelSegment((KernelPhase(PIMOpcode.WR_INP, wr_count),), repeat=1)]
+    segments.append(
+        KernelSegment(
+            (KernelPhase(PIMOpcode.MAC, n_in_tiles), KernelPhase(PIMOpcode.RD_OUT, 1)),
+            repeat=n_output_groups,
+        )
+    )
+    return tuple(segments)
+
+
+def build_fc_gemv_program(
+    in_dim: int,
+    out_dim: int,
+    channel: PIMChannelConfig,
+    caps: BufferCaps,
+    n_vectors: int = 1,
+    row_reuse: bool = True,
+) -> KernelProgram:
+    """Channel-level GEMV against weights resident in channel DRAM.
+
+    Args:
+        in_dim: Reduction dimension seen by this channel.
+        out_dim: Output dimension produced by this channel.
+        channel: Channel configuration (banks, buffer sizes).
+        caps: Buffer capacities the mapping may rely on.
+        n_vectors: Number of input vectors multiplied against the same
+            weights (e.g. requests batched on an FC layer).
+        row_reuse: Whether the mapping finishes all work on an open DRAM row
+            before switching rows.
+    """
+    if in_dim <= 0 or out_dim <= 0 or n_vectors <= 0:
+        return EMPTY_PROGRAM
+    n_in = _ceil_div(in_dim, ELEMENTS_PER_TILE)
+    n_og = _ceil_div(out_dim, channel.num_banks)
+
+    if n_in <= caps.gbuf_entries:
+        per_vector = _resident_input_segments(n_in, n_og, wr_count=n_in)
+    else:
+        per_vector = _blocked_stream_segments(n_in, n_og, block=caps.gbuf_entries)
+
+    segments = [
+        KernelSegment(seg.phases, repeat=seg.repeat * n_vectors) for seg in per_vector
+    ]
+
+    weight_tiles_per_bank = n_in * n_og
+    activations = _ceil_div(weight_tiles_per_bank, channel_tiles_per_row(channel))
+    if not row_reuse:
+        activations *= n_vectors
+    return KernelProgram(
+        segments=tuple(segments),
+        row_activations=activations,
+        description=f"fc_gemv({in_dim}x{out_dim},v={n_vectors})",
+    )
+
+
+def build_qkt_program(
+    tokens: int,
+    head_dim: int,
+    channel: PIMChannelConfig,
+    caps: BufferCaps,
+    group_size: int = 1,
+    row_reuse: bool = True,
+) -> KernelProgram:
+    """``QK^T`` kernel: score the channel's resident keys against queries.
+
+    ``tokens`` keys (each ``head_dim`` wide) are resident in the channel; the
+    ``group_size`` query vectors of a GQA group are streamed in and every
+    key/query pair produces one score.
+    """
+    if tokens <= 0 or group_size <= 0:
+        return EMPTY_PROGRAM
+    n_in = _ceil_div(head_dim, ELEMENTS_PER_TILE)
+    n_og = _ceil_div(tokens, channel.num_banks)
+
+    wr_count = n_in * group_size
+    if row_reuse and group_size > 1:
+        wr_count = int(math.ceil(wr_count * GQA_ROW_REUSE_REFETCH))
+
+    segments = [KernelSegment((KernelPhase(PIMOpcode.WR_INP, wr_count),), repeat=1)]
+    segments.append(
+        KernelSegment(
+            (KernelPhase(PIMOpcode.MAC, n_in), KernelPhase(PIMOpcode.RD_OUT, 1)),
+            repeat=n_og * group_size,
+        )
+    )
+
+    key_tiles_per_bank = n_og * n_in
+    activations = _ceil_div(key_tiles_per_bank, channel_tiles_per_row(channel))
+    if not row_reuse:
+        activations *= group_size
+    return KernelProgram(
+        segments=tuple(segments),
+        row_activations=activations,
+        description=f"qkt(T={tokens},g={group_size})",
+    )
+
+
+def build_sv_program(
+    tokens: int,
+    head_dim: int,
+    channel: PIMChannelConfig,
+    caps: BufferCaps,
+    group_size: int = 1,
+    row_reuse: bool = True,
+) -> KernelProgram:
+    """``SV`` kernel: weight the channel's resident values by scores.
+
+    Scores (``tokens`` per query) are streamed through the GBuf in blocks;
+    per block the partial outputs for every head dimension group are drained
+    and reduced in the PIM HUB (and, under TCP, across channels).
+    """
+    if tokens <= 0 or group_size <= 0:
+        return EMPTY_PROGRAM
+    n_in = _ceil_div(tokens, ELEMENTS_PER_TILE)
+    n_og = _ceil_div(head_dim, channel.num_banks)
+
+    block = caps.gbuf_entries
+    refetch = 1.0
+    if row_reuse and group_size > 1:
+        block = max(1, block // group_size)
+        refetch = GQA_ROW_REUSE_REFETCH
+
+    per_query = _blocked_stream_segments(n_in, n_og, block=block)
+    segments: list[KernelSegment] = []
+    for seg in per_query:
+        segments.append(KernelSegment(seg.phases, repeat=seg.repeat * group_size))
+    if refetch > 1.0:
+        extra_wr = int((refetch - 1.0) * n_in * group_size)
+        if extra_wr > 0:
+            segments.append(
+                KernelSegment((KernelPhase(PIMOpcode.WR_INP, extra_wr),), repeat=1)
+            )
+
+    value_tiles_per_bank = n_in * n_og
+    activations = _ceil_div(value_tiles_per_bank, channel_tiles_per_row(channel))
+    if not row_reuse:
+        activations *= group_size
+    return KernelProgram(
+        segments=tuple(segments),
+        row_activations=activations,
+        description=f"sv(T={tokens},g={group_size})",
+    )
+
+
+def channel_tiles_per_row(channel: PIMChannelConfig) -> int:
+    """Tiles held by one open DRAM row, derived from the default row size."""
+    # Row geometry lives in DRAMTiming; kernels only need the default ratio.
+    return 1024 // 32
+
+
+# ---------------------------------------------------------------------------
+# Closed-form cycle estimators
+# ---------------------------------------------------------------------------
+
+
+def _occupancy(timing: PIMTiming, opcode: PIMOpcode) -> int:
+    if opcode is PIMOpcode.WR_INP:
+        return timing.wr_inp_occupancy
+    if opcode is PIMOpcode.MAC:
+        return timing.mac_occupancy
+    return timing.rd_out_occupancy
+
+
+def _latency(timing: PIMTiming, opcode: PIMOpcode) -> int:
+    if opcode is PIMOpcode.WR_INP:
+        return timing.wr_inp_latency
+    if opcode is PIMOpcode.MAC:
+        return timing.mac_latency
+    return timing.rd_out_latency
+
+
+def _static_busy(program: KernelProgram, timing: PIMTiming) -> float:
+    """Total busy cycles under static scheduling (phases fully serialised)."""
+    busy = 0.0
+    for segment in program.segments:
+        per_rep = 0.0
+        for phase in segment.phases:
+            if phase.count == 0:
+                continue
+            per_rep += (phase.count - 1) * _occupancy(timing, phase.opcode)
+            per_rep += _latency(timing, phase.opcode)
+        busy += per_rep * segment.repeat
+    return busy
+
+
+def _segment_io_mac(segment: KernelSegment, timing: PIMTiming) -> tuple[float, float]:
+    """Per-repetition I/O and MAC stream lengths of a segment."""
+    io = 0.0
+    mac = 0.0
+    for phase in segment.phases:
+        cycles = phase.count * _occupancy(timing, phase.opcode)
+        if phase.opcode is PIMOpcode.MAC:
+            mac += cycles
+        else:
+            io += cycles
+    return io, mac
+
+
+def _dcs_busy(program: KernelProgram, timing: PIMTiming, act_cycles: float) -> float:
+    """Busy cycles under DCS: I/O and MAC streams fully overlapped."""
+    io_total = 0.0
+    mac_total = 0.0
+    for segment in program.segments:
+        io, mac = _segment_io_mac(segment, timing)
+        io_total += io * segment.repeat
+        mac_total += mac * segment.repeat
+    fill_drain = timing.wr_inp_latency + timing.mac_latency + timing.rd_out_latency
+    return max(io_total, mac_total + act_cycles) + fill_drain
+
+
+def _pingpong_busy(
+    program: KernelProgram,
+    timing: PIMTiming,
+    act_cycles: float,
+    handoff_penalty: float,
+) -> float:
+    """Busy cycles under ping-pong double buffering.
+
+    Adjacent buffer regions overlap I/O and compute, but every region swap
+    requires both regions to drain, so each segment repetition pays
+    ``max(io, mac)`` plus a hand-off penalty.
+    """
+    total_reps = sum(max(1, segment.repeat) for segment in program.segments)
+    act_per_rep = act_cycles / total_reps if total_reps else 0.0
+    busy = 0.0
+    for segment in program.segments:
+        io, mac = _segment_io_mac(segment, timing)
+        per_rep = max(io, mac + act_per_rep) + handoff_penalty
+        busy += per_rep * segment.repeat
+    fill_drain = timing.wr_inp_latency + timing.mac_latency + timing.rd_out_latency
+    return busy + fill_drain
+
+
+def estimate_cycles(
+    program: KernelProgram,
+    timing: PIMTiming,
+    policy: str,
+    include_refresh: bool = True,
+) -> CycleBreakdown:
+    """Estimate the cycle breakdown of a kernel program under a policy.
+
+    Args:
+        program: Phase-level kernel description.
+        timing: Channel timing parameters.
+        policy: ``"static"``, ``"pingpong"`` or ``"dcs"``.
+        include_refresh: Whether to add rate-based refresh overhead.
+
+    Returns:
+        A :class:`CycleBreakdown` whose ``total`` is the estimated end-to-end
+        latency of the kernel on one channel.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if program.is_empty:
+        return CycleBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    mac_cycles = program.n_mac * timing.mac_occupancy
+    dt_gbuf = program.n_wr_inp * timing.wr_inp_occupancy
+    dt_outreg = program.n_rd_out * timing.rd_out_occupancy
+    act_cycles = float(program.row_activations * timing.dram.row_switch_cycles)
+
+    if policy == "static":
+        busy = _static_busy(program, timing) + act_cycles
+    elif policy == "dcs":
+        busy = _dcs_busy(program, timing, act_cycles)
+    else:
+        handoff = float(timing.mac_latency + timing.rd_out_latency) / 2.0
+        busy = _pingpong_busy(program, timing, act_cycles, handoff)
+
+    refresh = 0.0
+    if include_refresh:
+        refresh = RefreshModel(timing.dram).refresh_cycles(busy)
+    total = busy + refresh
+    penalty = total - (mac_cycles + dt_gbuf + dt_outreg + act_cycles + refresh)
+    return CycleBreakdown(
+        mac=float(mac_cycles),
+        dt_gbuf=float(dt_gbuf),
+        dt_outreg=float(dt_outreg),
+        act_pre=act_cycles,
+        refresh=refresh,
+        pipeline_penalty=max(0.0, penalty),
+        total=total,
+    )
+
+
+def fc_gemv_cycles(
+    in_dim: int,
+    out_dim: int,
+    channel: PIMChannelConfig,
+    timing: PIMTiming,
+    policy: str,
+    n_vectors: int = 1,
+    row_reuse: bool = True,
+) -> CycleBreakdown:
+    """Latency of an FC GEMV slice on one channel under ``policy``."""
+    caps = caps_for_policy(channel, policy)
+    program = build_fc_gemv_program(in_dim, out_dim, channel, caps, n_vectors, row_reuse)
+    return estimate_cycles(program, timing, policy)
+
+
+def qkt_cycles(
+    tokens: int,
+    head_dim: int,
+    channel: PIMChannelConfig,
+    timing: PIMTiming,
+    policy: str,
+    group_size: int = 1,
+    row_reuse: bool = True,
+) -> CycleBreakdown:
+    """Latency of a ``QK^T`` slice (per KV head) on one channel."""
+    caps = caps_for_policy(channel, policy)
+    program = build_qkt_program(tokens, head_dim, channel, caps, group_size, row_reuse)
+    return estimate_cycles(program, timing, policy)
+
+
+def sv_cycles(
+    tokens: int,
+    head_dim: int,
+    channel: PIMChannelConfig,
+    timing: PIMTiming,
+    policy: str,
+    group_size: int = 1,
+    row_reuse: bool = True,
+) -> CycleBreakdown:
+    """Latency of an ``SV`` slice (per KV head) on one channel."""
+    caps = caps_for_policy(channel, policy)
+    program = build_sv_program(tokens, head_dim, channel, caps, group_size, row_reuse)
+    return estimate_cycles(program, timing, policy)
+
+
+def attention_head_cycles(
+    tokens: int,
+    head_dim: int,
+    channel: PIMChannelConfig,
+    timing: PIMTiming,
+    policy: str,
+    group_size: int = 1,
+    row_reuse: bool = True,
+) -> CycleBreakdown:
+    """Combined ``QK^T`` + ``SV`` latency for one KV head's token slice."""
+    qkt = qkt_cycles(tokens, head_dim, channel, timing, policy, group_size, row_reuse)
+    sv = sv_cycles(tokens, head_dim, channel, timing, policy, group_size, row_reuse)
+    return qkt + sv

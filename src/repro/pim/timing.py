@@ -1,0 +1,110 @@
+"""PIM command timing parameters.
+
+Two presets are provided:
+
+* :func:`illustrative_timing` mirrors the simplified example of paper
+  Fig. 7, where successive 32B transfers are two cycles apart and each
+  command class completes within a handful of cycles.  With this preset the
+  Fig. 7 command stack takes 34 cycles under static scheduling, matching the
+  paper's diagram.
+* :func:`aimx_timing` models a GDDR6-AiM(X)-class channel, where external
+  I/O transfers (``WR-INP``/``RD-OUT``) are several times more expensive
+  than internal ``MAC`` commands -- the regime in which Attention's frequent
+  I/O turns into the bottleneck the paper analyses (Fig. 8, Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.timing import DRAMTiming
+
+
+@dataclass(frozen=True)
+class PIMTiming:
+    """Per-command timing of a PIM channel, in controller cycles.
+
+    Occupancy is how long a command holds its issue resource (the data bus
+    for I/O commands, the MAC pipeline for compute commands); latency is how
+    long until its effect completes (data written / accumulated / drained).
+
+    Attributes:
+        dram: Underlying DRAM timing (ACT/PRE, refresh, row geometry).
+        wr_inp_occupancy: Data-bus cycles per 32B ``WR-INP`` tile.
+        wr_inp_latency: Cycles until the GBuf entry is written.
+        mac_occupancy: MAC-pipeline cycles per ``MAC`` command (tCCD_S).
+        mac_latency: Cycles until the accumulation is architecturally visible.
+        rd_out_occupancy: Data-bus cycles per ``RD-OUT`` drain.
+        rd_out_latency: Cycles until the OutReg/OBuf entry is drained.
+    """
+
+    dram: DRAMTiming = field(default_factory=DRAMTiming)
+    wr_inp_occupancy: int = 8
+    wr_inp_latency: int = 10
+    mac_occupancy: int = 2
+    mac_latency: int = 4
+    rd_out_occupancy: int = 8
+    rd_out_latency: int = 10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "wr_inp_occupancy",
+            "wr_inp_latency",
+            "mac_occupancy",
+            "mac_latency",
+            "rd_out_occupancy",
+            "rd_out_latency",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.wr_inp_latency < self.wr_inp_occupancy:
+            raise ValueError("wr_inp_latency must be >= wr_inp_occupancy")
+        if self.mac_latency < self.mac_occupancy:
+            raise ValueError("mac_latency must be >= mac_occupancy")
+        if self.rd_out_latency < self.rd_out_occupancy:
+            raise ValueError("rd_out_latency must be >= rd_out_occupancy")
+
+    @property
+    def t_ccds(self) -> int:
+        """Minimum command-to-command interval on the data bus."""
+        return self.dram.t_ccds
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert controller cycles to seconds."""
+        return self.dram.cycles_to_seconds(cycles)
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds to controller cycles."""
+        return self.dram.seconds_to_cycles(seconds)
+
+
+def illustrative_timing() -> PIMTiming:
+    """Timing matching the didactic example of paper Fig. 7."""
+    return PIMTiming(
+        dram=DRAMTiming(t_ccds=2, t_rcd=18, t_rp=18),
+        wr_inp_occupancy=2,
+        wr_inp_latency=4,
+        mac_occupancy=2,
+        mac_latency=4,
+        rd_out_occupancy=2,
+        rd_out_latency=5,
+    )
+
+
+def aimx_timing(clock_ghz: float = 1.0) -> PIMTiming:
+    """AiMX-class channel timing used by the end-to-end evaluation.
+
+    External tile transfers are an order of magnitude more expensive than
+    MAC slots, reflecting the narrow external interface relative to the
+    all-bank internal bandwidth of an AiM channel; this is the regime in
+    which Attention's frequent I/O becomes the bottleneck (paper Fig. 8).
+    """
+    return PIMTiming(
+        dram=DRAMTiming(clock_ghz=clock_ghz, t_ccds=2, t_rcd=18, t_rp=18),
+        wr_inp_occupancy=16,
+        wr_inp_latency=24,
+        mac_occupancy=2,
+        mac_latency=5,
+        rd_out_occupancy=16,
+        rd_out_latency=24,
+    )

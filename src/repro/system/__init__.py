@@ -1,0 +1,24 @@
+"""Multi-node PIM system models and the decode serving loop."""
+
+from repro.system.interconnect import InterconnectConfig
+from repro.system.layers import ModuleLayerTimes, module_attention_time, module_fc_time
+from repro.system.parallelism import ParallelismPlan, enumerate_plans, best_plan
+from repro.system.pim_only import PIMOnlySystem
+from repro.system.serving import ServingResult, simulate_serving
+from repro.system.xpu import XPUConfig
+from repro.system.xpu_pim import XPUPIMSystem
+
+__all__ = [
+    "ParallelismPlan",
+    "enumerate_plans",
+    "best_plan",
+    "InterconnectConfig",
+    "ModuleLayerTimes",
+    "module_attention_time",
+    "module_fc_time",
+    "XPUConfig",
+    "PIMOnlySystem",
+    "XPUPIMSystem",
+    "ServingResult",
+    "simulate_serving",
+]

@@ -1,0 +1,34 @@
+"""Inter-module interconnect model for TP synchronisation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Bandwidth/latency of the link connecting PIM modules.
+
+    Defaults model a CXL-class fabric (the CENT deployment); the NeuPIMs
+    style system uses a faster accelerator interconnect.
+    """
+
+    bandwidth_bytes_per_s: float = 64e9
+    latency_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0 or self.latency_s < 0:
+            raise ValueError("bandwidth must be positive and latency non-negative")
+
+    def all_reduce_seconds(self, bytes_per_module: int, participants: int) -> float:
+        """Time of a ring all-reduce over ``participants`` modules."""
+        if participants <= 1 or bytes_per_module <= 0:
+            return 0.0
+        moved = 2.0 * (participants - 1) / participants * bytes_per_module
+        return moved / self.bandwidth_bytes_per_s + 2.0 * self.latency_s
+
+    def point_to_point_seconds(self, num_bytes: int) -> float:
+        """Time to move activations between adjacent pipeline stages."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.bandwidth_bytes_per_s + self.latency_s

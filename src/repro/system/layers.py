@@ -1,0 +1,175 @@
+"""Per-module decode-step timing of attention and FC layers on PIM.
+
+These helpers aggregate the channel-level kernel estimators of
+``repro.pim.kernels`` into module-level times, applying the intra-module
+partitioning strategy (HFP vs TCP) for attention.  They are the hot path of
+the serving simulator, so per-unique-context kernel estimates are cached
+within a call instead of re-evaluated per task.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.orchestrator import PIMphonyConfig
+from repro.pim.config import PIMModuleConfig
+from repro.pim.kernels import attention_head_cycles, fc_gemv_cycles
+from repro.pim.simulator import CycleBreakdown, ZERO_BREAKDOWN
+
+
+@dataclass(frozen=True)
+class ModuleLayerTimes:
+    """Timing of one decoder layer's PIM work on one module.
+
+    Attributes:
+        attention_cycles: End-to-end attention time (slowest channel).
+        fc_cycles: End-to-end FC time on PIM (zero when FC runs on an xPU).
+        attention_utilization: Mean channel busy fraction during attention.
+        attention_breakdown: Aggregate breakdown across channels (for energy).
+        fc_breakdown: Aggregate FC breakdown across channels (for energy).
+    """
+
+    attention_cycles: float
+    fc_cycles: float
+    attention_utilization: float
+    attention_breakdown: CycleBreakdown
+    fc_breakdown: CycleBreakdown
+
+    @property
+    def total_cycles(self) -> float:
+        return self.attention_cycles + self.fc_cycles
+
+
+def _policy_of(config: PIMphonyConfig) -> str:
+    return "dcs" if config.dcs else "static"
+
+
+def module_attention_time(
+    context_lengths: Sequence[int],
+    kv_heads_per_module: int,
+    group_size: int,
+    head_dim: int,
+    module: PIMModuleConfig,
+    config: PIMphonyConfig,
+) -> tuple[float, float, CycleBreakdown]:
+    """Attention time of one layer on one module for a batch of requests.
+
+    Returns:
+        ``(module_cycles, channel_utilization, aggregate_breakdown)`` where
+        ``module_cycles`` is the time of the slowest channel and the
+        aggregate breakdown sums all channels' busy components (for energy).
+    """
+    active = [length for length in context_lengths if length > 0]
+    if not active or kv_heads_per_module <= 0:
+        return 0.0, 0.0, ZERO_BREAKDOWN
+
+    policy = _policy_of(config)
+    channel = module.channel
+    timing = module.timing
+    num_channels = module.num_channels
+    row_reuse = config.row_reuse
+
+    cycles_cache: dict[int, CycleBreakdown] = {}
+
+    def head_cycles(tokens: int) -> CycleBreakdown:
+        if tokens <= 0:
+            return ZERO_BREAKDOWN
+        if tokens not in cycles_cache:
+            cycles_cache[tokens] = attention_head_cycles(
+                tokens=tokens,
+                head_dim=head_dim,
+                channel=channel,
+                timing=timing,
+                policy=policy,
+                group_size=group_size,
+                row_reuse=row_reuse,
+            )
+        return cycles_cache[tokens]
+
+    if config.tcp:
+        # Every channel processes an equal token share of every task; the
+        # per-channel time is identical across channels by construction.
+        per_channel = ZERO_BREAKDOWN
+        for length in active:
+            share = -(-length // num_channels)
+            slice_breakdown = head_cycles(share)
+            per_channel = per_channel + slice_breakdown.scaled(kv_heads_per_module)
+        module_cycles = per_channel.total
+        utilization = 1.0 if module_cycles > 0 else 0.0
+        aggregate = per_channel.scaled(num_channels)
+        return module_cycles, utilization, aggregate
+
+    # HFP: whole (request, KV head) tasks are placed on the least loaded
+    # channel; the module finishes with its slowest channel.
+    channel_cycles = [0.0] * num_channels
+    aggregate = ZERO_BREAKDOWN
+    tasks: list[int] = []
+    for length in active:
+        tasks.extend([length] * kv_heads_per_module)
+    tasks.sort(reverse=True)
+    for length in tasks:
+        breakdown = head_cycles(length)
+        target = min(range(num_channels), key=lambda index: channel_cycles[index])
+        channel_cycles[target] += breakdown.total
+        aggregate = aggregate + breakdown
+    module_cycles = max(channel_cycles)
+    if module_cycles > 0:
+        utilization = sum(channel_cycles) / (num_channels * module_cycles)
+    else:
+        utilization = 0.0
+    return module_cycles, utilization, aggregate
+
+
+#: FC matrices of one decoder layer as (in_dim multiplier, out_dim multiplier)
+#: pairs over (d_model, kv_dim, ffn_dim); resolved per model below.
+def _layer_fc_shapes(d_model: int, kv_dim: int, ffn_dim: int, gated_ffn: bool) -> list[tuple[int, int]]:
+    shapes = [
+        (d_model, d_model + 2 * kv_dim),  # QKV projection
+        (d_model, d_model),  # output projection
+        (d_model, ffn_dim),  # FFN up
+        (ffn_dim, d_model),  # FFN down
+    ]
+    if gated_ffn:
+        shapes.append((d_model, ffn_dim))  # FFN gate
+    return shapes
+
+
+def module_fc_time(
+    batch_size: int,
+    d_model: int,
+    kv_dim: int,
+    ffn_dim: int,
+    gated_ffn: bool,
+    tensor_parallel: int,
+    module: PIMModuleConfig,
+    config: PIMphonyConfig,
+) -> tuple[float, CycleBreakdown]:
+    """FC time of one layer on one module when FC runs on PIM (CENT-style).
+
+    Weight matrices are sharded column-wise across the ``tensor_parallel``
+    modules of the stage and further column-wise across the module's
+    channels, so each channel runs a GEMV with the full reduction dimension
+    and a slice of the output dimension, once per request in the batch.
+    """
+    if batch_size <= 0:
+        return 0.0, ZERO_BREAKDOWN
+    policy = _policy_of(config)
+    channel = module.channel
+    timing = module.timing
+    shard = tensor_parallel * module.num_channels
+
+    per_channel = ZERO_BREAKDOWN
+    for in_dim, out_dim in _layer_fc_shapes(d_model, kv_dim, ffn_dim, gated_ffn):
+        out_per_channel = max(channel.num_banks, out_dim // shard)
+        per_channel = per_channel + fc_gemv_cycles(
+            in_dim=in_dim,
+            out_dim=out_per_channel,
+            channel=channel,
+            timing=timing,
+            policy=policy,
+            n_vectors=batch_size,
+            row_reuse=config.row_reuse,
+        )
+    aggregate = per_channel.scaled(module.num_channels)
+    return per_channel.total, aggregate

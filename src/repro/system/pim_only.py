@@ -1,0 +1,141 @@
+"""PIM-only multi-module system (CENT-style deployment).
+
+All decode work -- FC layers and attention -- executes on the PIM modules.
+Modules are organised by a (TP, PP) parallelism plan; within each module the
+attention work is partitioned across channels with HFP or TCP and kernels
+are scheduled statically or with DCS, according to the active
+:class:`~repro.core.orchestrator.PIMphonyConfig`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.orchestrator import PIMphonyConfig
+from repro.models.llm import LLMConfig
+from repro.pim.config import PIMModuleConfig, cent_module_config
+from repro.system.interconnect import InterconnectConfig
+from repro.system.layers import module_attention_time, module_fc_time
+from repro.system.parallelism import ParallelismPlan
+from repro.system.pipeline import StageCost, pipeline_decode_step
+from repro.system.serving import StepResult
+
+
+@dataclass
+class PIMOnlySystem:
+    """A pool of PIM modules serving decode without any xPU.
+
+    Attributes:
+        model: LLM being served.
+        num_modules: PIM modules in the system.
+        plan: Tensor/pipeline parallelism plan (``plan.num_modules`` must
+            equal ``num_modules``).
+        pimphony: Which PIMphony techniques are enabled.
+        module: Per-module hardware configuration.
+        interconnect: Inter-module link model used for TP/PP communication.
+    """
+
+    model: LLMConfig
+    num_modules: int
+    plan: ParallelismPlan
+    pimphony: PIMphonyConfig = field(default_factory=PIMphonyConfig.full)
+    module: PIMModuleConfig = field(default_factory=cent_module_config)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_modules <= 0:
+            raise ValueError("num_modules must be positive")
+        if self.plan.num_modules != self.num_modules:
+            raise ValueError(
+                f"plan {self.plan} covers {self.plan.num_modules} modules, "
+                f"system has {self.num_modules}"
+            )
+        self.plan.validate_for(self.model)
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.num_modules * self.module.capacity_bytes
+
+    @property
+    def kv_capacity_bytes(self) -> int:
+        """Capacity left for KV cache after storing the model weights."""
+        return max(0, self.total_capacity_bytes - self.model.param_bytes)
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        return self.model.kv_bytes_per_token
+
+    @property
+    def max_context_tokens(self) -> int:
+        return self.model.context_window
+
+    @property
+    def dynamic_memory(self) -> bool:
+        return self.pimphony.dpa
+
+    @property
+    def total_pim_channels(self) -> int:
+        return self.num_modules * self.module.num_channels
+
+    # -- timing ----------------------------------------------------------------
+
+    def _stage_cost(self, microbatch: Sequence[int]) -> StageCost:
+        """Cost of one pipeline stage processing one micro-batch."""
+        if not microbatch:
+            return StageCost(seconds=0.0, pim_utilization=0.0)
+        tensor_parallel = self.plan.tensor_parallel
+        kv_heads_per_module = self.plan.kv_heads_per_module(self.model)
+        layers = self.plan.layers_per_stage(self.model)
+        timing = self.module.timing
+
+        attention_cycles, utilization, attention_breakdown = module_attention_time(
+            context_lengths=microbatch,
+            kv_heads_per_module=kv_heads_per_module,
+            group_size=self.model.gqa_group_size,
+            head_dim=self.model.head_dim,
+            module=self.module,
+            config=self.pimphony,
+        )
+        fc_cycles, fc_breakdown = module_fc_time(
+            batch_size=len(microbatch),
+            d_model=self.model.d_model,
+            kv_dim=self.model.kv_dim,
+            ffn_dim=self.model.ffn_dim,
+            gated_ffn=self.model.gated_ffn,
+            tensor_parallel=tensor_parallel,
+            module=self.module,
+            config=self.pimphony,
+        )
+        layer_seconds = timing.cycles_to_seconds(attention_cycles + fc_cycles)
+        sync_bytes = len(microbatch) * self.model.d_model * self.model.dtype_bytes
+        layer_seconds += 2 * self.interconnect.all_reduce_seconds(sync_bytes, tensor_parallel)
+        stage_seconds = layers * layer_seconds
+        stage_seconds += self.interconnect.point_to_point_seconds(sync_bytes)
+
+        pim_cycles = attention_cycles + fc_cycles
+        if pim_cycles > 0:
+            stage_utilization = (attention_cycles * utilization + fc_cycles) / pim_cycles
+        else:
+            stage_utilization = 0.0
+        return StageCost(
+            seconds=stage_seconds,
+            pim_utilization=stage_utilization,
+            attention_breakdown=attention_breakdown.scaled(layers),
+            fc_breakdown=fc_breakdown.scaled(layers),
+        )
+
+    def decode_step(self, context_lengths: Sequence[int]) -> StepResult:
+        """Latency of one decode step (every active request emits one token)."""
+        step = pipeline_decode_step(
+            context_lengths, self.plan.pipeline_parallel, self._stage_cost
+        )
+        scale = self.plan.tensor_parallel
+        return StepResult(
+            seconds=step.seconds,
+            pim_utilization=step.pim_utilization,
+            attention_breakdown=step.attention_breakdown.scaled(scale),
+            fc_breakdown=step.fc_breakdown.scaled(scale),
+        )

@@ -1,0 +1,123 @@
+"""Pipeline-parallel decode-step timing shared by the system models.
+
+One decode step gives every active request one new token.  The batch is
+split into micro-batches that circulate through the pipeline stages; in
+steady state the step period is bounded below both by the bottleneck
+stage's total work (it must serve every micro-batch once per step) and by
+the pipeline depth times the largest micro-batch (a micro-batch cannot
+re-enter the pipeline before its previous token has left it):
+
+    T_step = max( sum_i t_i,  stages * max_i t_i )
+
+Fewer, larger micro-batches amortise per-micro-batch overheads (weight
+streaming on an xPU); more, smaller micro-batches keep the pipeline free of
+bubbles.  The runtime picks whichever granularity yields the shorter step,
+mirroring the micro-batch tuning real serving systems perform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.pim.simulator import CycleBreakdown, ZERO_BREAKDOWN
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Cost of one pipeline stage processing one micro-batch."""
+
+    seconds: float
+    pim_utilization: float
+    attention_breakdown: CycleBreakdown = ZERO_BREAKDOWN
+    fc_breakdown: CycleBreakdown = ZERO_BREAKDOWN
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """Timing of one decode step across the whole pipeline."""
+
+    seconds: float
+    pim_utilization: float
+    attention_breakdown: CycleBreakdown
+    fc_breakdown: CycleBreakdown
+    num_microbatches: int
+
+
+def split_microbatches(contexts: Sequence[int], count: int) -> list[list[int]]:
+    """Split a batch into ``count`` micro-batches, balancing token totals."""
+    count = max(1, min(count, len(contexts)))
+    buckets: list[list[int]] = [[] for _ in range(count)]
+    loads = [0] * count
+    for context in sorted(contexts, reverse=True):
+        target = loads.index(min(loads))
+        buckets[target].append(context)
+        loads[target] += context
+    return [bucket for bucket in buckets if bucket]
+
+
+def _evaluate(
+    microbatches: list[list[int]],
+    stages: int,
+    stage_cost: Callable[[Sequence[int]], StageCost],
+) -> PipelineStep:
+    costs = [stage_cost(microbatch) for microbatch in microbatches]
+    times = [cost.seconds for cost in costs]
+    total_work = sum(times)
+    step_seconds = max(total_work, stages * max(times))
+
+    attention_total = ZERO_BREAKDOWN
+    fc_total = ZERO_BREAKDOWN
+    busy_weighted_utilization = 0.0
+    for cost in costs:
+        attention_total = attention_total + cost.attention_breakdown
+        fc_total = fc_total + cost.fc_breakdown
+        busy_weighted_utilization += cost.seconds * cost.pim_utilization
+    utilization = busy_weighted_utilization / step_seconds if step_seconds > 0 else 0.0
+
+    return PipelineStep(
+        seconds=step_seconds,
+        pim_utilization=min(1.0, utilization),
+        attention_breakdown=attention_total,
+        fc_breakdown=fc_total,
+        num_microbatches=len(microbatches),
+    )
+
+
+def pipeline_decode_step(
+    contexts: Sequence[int],
+    stages: int,
+    stage_cost: Callable[[Sequence[int]], StageCost],
+) -> PipelineStep:
+    """Best-achievable decode-step timing over micro-batch granularities.
+
+    Args:
+        contexts: Context length of every active request.
+        stages: Pipeline depth (PP degree).
+        stage_cost: Callback returning the cost of one stage processing one
+            micro-batch (the same layers run in every stage, so one
+            representative stage suffices).
+
+    Returns:
+        The :class:`PipelineStep` of the better micro-batch granularity.
+    """
+    active = [context for context in contexts if context > 0]
+    if not active:
+        return PipelineStep(
+            seconds=0.0,
+            pim_utilization=0.0,
+            attention_breakdown=ZERO_BREAKDOWN,
+            fc_breakdown=ZERO_BREAKDOWN,
+            num_microbatches=0,
+        )
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+
+    candidate_counts = sorted({min(stages, len(active)), len(active)})
+    best: PipelineStep | None = None
+    for count in candidate_counts:
+        step = _evaluate(split_microbatches(active, count), stages, stage_cost)
+        if best is None or step.seconds < best.seconds:
+            best = step
+    assert best is not None
+    return best

@@ -1,0 +1,71 @@
+"""xPU (NPU / matrix-unit) compute model for heterogeneous systems.
+
+In the NeuPIMs-style system the compute-intensive FC layers run on matrix
+units co-located with each module while PIM handles attention.  The xPU
+model is a roofline: an FC layer is bound either by its FLOPs at the matrix
+units' effective throughput or by streaming its weights from memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class XPUConfig:
+    """One module's xPU resources.
+
+    Attributes:
+        peak_tflops: Peak FP16 matrix throughput (TFLOPS).
+        compute_efficiency: Achievable fraction of peak on decode GEMMs.
+        memory_bandwidth_bytes: Bandwidth available for streaming weights.
+    """
+
+    peak_tflops: float = 256.0
+    compute_efficiency: float = 0.5
+    memory_bandwidth_bytes: float = 1.0e12
+
+    def __post_init__(self) -> None:
+        if self.peak_tflops <= 0 or self.memory_bandwidth_bytes <= 0:
+            raise ValueError("peak_tflops and memory_bandwidth_bytes must be positive")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+
+    def gemm_seconds(self, flops: float, weight_bytes: float, activation_bytes: float = 0.0) -> float:
+        """Roofline time of one batched GEMM."""
+        if flops < 0 or weight_bytes < 0 or activation_bytes < 0:
+            raise ValueError("flops and byte counts must be non-negative")
+        compute = flops / (self.peak_tflops * 1e12 * self.compute_efficiency)
+        memory = (weight_bytes + activation_bytes) / self.memory_bandwidth_bytes
+        return max(compute, memory)
+
+
+def fc_layer_seconds(
+    xpu: XPUConfig,
+    batch_size: int,
+    d_model: int,
+    kv_dim: int,
+    ffn_dim: int,
+    gated_ffn: bool,
+    tensor_parallel: int,
+    dtype_bytes: int = 2,
+) -> float:
+    """Time of one decoder layer's FC matrices on one module's xPU."""
+    if batch_size <= 0:
+        return 0.0
+    shapes = [
+        (d_model, d_model + 2 * kv_dim),
+        (d_model, d_model),
+        (d_model, ffn_dim),
+        (ffn_dim, d_model),
+    ]
+    if gated_ffn:
+        shapes.append((d_model, ffn_dim))
+    total = 0.0
+    for in_dim, out_dim in shapes:
+        out_shard = max(1, out_dim // tensor_parallel)
+        flops = 2.0 * batch_size * in_dim * out_shard
+        weight_bytes = float(in_dim * out_shard * dtype_bytes)
+        activation_bytes = float(batch_size * (in_dim + out_shard) * dtype_bytes)
+        total += xpu.gemm_seconds(flops, weight_bytes, activation_bytes)
+    return total

@@ -1,0 +1,134 @@
+"""Heterogeneous xPU + PIM system (NeuPIMs-style deployment).
+
+Compute-intensive FC layers run on matrix units co-located with each module
+(the xPU); memory-bound attention runs on the PIM channels.  Following
+NeuPIMs, the two are overlapped with sub-batch interleaving, so a layer's
+time is governed by the slower of the two engines plus a small
+synchronisation overhead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.orchestrator import PIMphonyConfig
+from repro.models.llm import LLMConfig
+from repro.pim.config import PIMModuleConfig, neupims_module_config
+from repro.pim.simulator import ZERO_BREAKDOWN
+from repro.system.interconnect import InterconnectConfig
+from repro.system.layers import module_attention_time
+from repro.system.parallelism import ParallelismPlan
+from repro.system.pipeline import StageCost, pipeline_decode_step
+from repro.system.serving import StepResult
+from repro.system.xpu import XPUConfig, fc_layer_seconds
+
+#: Fraction of the slower engine's time added per layer for xPU/PIM
+#: synchronisation under sub-batch interleaving.
+SYNC_OVERHEAD = 0.05
+
+
+@dataclass
+class XPUPIMSystem:
+    """Heterogeneous system with per-module xPU compute and PIM attention."""
+
+    model: LLMConfig
+    num_modules: int
+    plan: ParallelismPlan
+    pimphony: PIMphonyConfig = field(default_factory=PIMphonyConfig.full)
+    module: PIMModuleConfig = field(default_factory=neupims_module_config)
+    xpu: XPUConfig = field(default_factory=XPUConfig)
+    interconnect: InterconnectConfig = field(
+        default_factory=lambda: InterconnectConfig(bandwidth_bytes_per_s=300e9, latency_s=1e-6)
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_modules <= 0:
+            raise ValueError("num_modules must be positive")
+        if self.plan.num_modules != self.num_modules:
+            raise ValueError(
+                f"plan {self.plan} covers {self.plan.num_modules} modules, "
+                f"system has {self.num_modules}"
+            )
+        self.plan.validate_for(self.model)
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.num_modules * self.module.capacity_bytes
+
+    @property
+    def kv_capacity_bytes(self) -> int:
+        return max(0, self.total_capacity_bytes - self.model.param_bytes)
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        return self.model.kv_bytes_per_token
+
+    @property
+    def max_context_tokens(self) -> int:
+        return self.model.context_window
+
+    @property
+    def dynamic_memory(self) -> bool:
+        return self.pimphony.dpa
+
+    @property
+    def total_pim_channels(self) -> int:
+        return self.num_modules * self.module.num_channels
+
+    # -- timing ----------------------------------------------------------------
+
+    def _stage_cost(self, microbatch: Sequence[int]) -> StageCost:
+        if not microbatch:
+            return StageCost(seconds=0.0, pim_utilization=0.0)
+        tensor_parallel = self.plan.tensor_parallel
+        layers = self.plan.layers_per_stage(self.model)
+        timing = self.module.timing
+
+        attention_cycles, utilization, attention_breakdown = module_attention_time(
+            context_lengths=microbatch,
+            kv_heads_per_module=self.plan.kv_heads_per_module(self.model),
+            group_size=self.model.gqa_group_size,
+            head_dim=self.model.head_dim,
+            module=self.module,
+            config=self.pimphony,
+        )
+        attention_seconds = timing.cycles_to_seconds(attention_cycles)
+        fc_seconds = fc_layer_seconds(
+            xpu=self.xpu,
+            batch_size=len(microbatch),
+            d_model=self.model.d_model,
+            kv_dim=self.model.kv_dim,
+            ffn_dim=self.model.ffn_dim,
+            gated_ffn=self.model.gated_ffn,
+            tensor_parallel=tensor_parallel,
+            dtype_bytes=self.model.dtype_bytes,
+        )
+        layer_seconds = max(attention_seconds, fc_seconds) * (1.0 + SYNC_OVERHEAD)
+        sync_bytes = len(microbatch) * self.model.d_model * self.model.dtype_bytes
+        layer_seconds += 2 * self.interconnect.all_reduce_seconds(sync_bytes, tensor_parallel)
+        stage_seconds = layers * layer_seconds
+        stage_seconds += self.interconnect.point_to_point_seconds(sync_bytes)
+
+        if layer_seconds > 0:
+            pim_busy_fraction = min(1.0, attention_seconds / max(layer_seconds, 1e-30))
+        else:
+            pim_busy_fraction = 0.0
+        return StageCost(
+            seconds=stage_seconds,
+            pim_utilization=utilization * pim_busy_fraction,
+            attention_breakdown=attention_breakdown.scaled(layers),
+        )
+
+    def decode_step(self, context_lengths: Sequence[int]) -> StepResult:
+        step = pipeline_decode_step(
+            context_lengths, self.plan.pipeline_parallel, self._stage_cost
+        )
+        return StepResult(
+            seconds=step.seconds,
+            pim_utilization=step.pim_utilization,
+            attention_breakdown=step.attention_breakdown.scaled(self.plan.tensor_parallel),
+            fc_breakdown=ZERO_BREAKDOWN,
+        )

@@ -1,0 +1,13 @@
+"""Long-context workload generators matched to LongBench / LV-Eval statistics."""
+
+from repro.workloads.datasets import DatasetStats, get_dataset, list_datasets
+from repro.workloads.traces import Request, RequestTrace, generate_trace
+
+__all__ = [
+    "DatasetStats",
+    "get_dataset",
+    "list_datasets",
+    "Request",
+    "RequestTrace",
+    "generate_trace",
+]

@@ -1,0 +1,127 @@
+"""Statistical models of the paper's long-context datasets (Table II).
+
+The evaluation only depends on the *distribution* of input context lengths
+(mean, spread, bounds), so each dataset is represented by the statistics the
+paper publishes and sampled with a truncated normal distribution.  QMSum and
+Musique come from LongBench (32K-class contexts); multifieldqa and Loogle-SD
+come from LV-Eval (128K-class contexts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Context-length statistics of one dataset (paper Table II)."""
+
+    name: str
+    suite: str
+    mean: float
+    std: float
+    minimum: int
+    maximum: int
+    output_tokens: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0 or self.std < 0:
+            raise ValueError("mean must be positive and std non-negative")
+        if not (0 < self.minimum <= self.maximum):
+            raise ValueError("require 0 < minimum <= maximum")
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``count`` context lengths from a truncated normal model."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        samples = rng.normal(self.mean, self.std, size=count)
+        clipped = np.clip(samples, self.minimum, self.maximum)
+        return clipped.astype(np.int64)
+
+    def clamp_to_window(self, context_window: int) -> "DatasetStats":
+        """Restrict the distribution to a model's context window."""
+        maximum = min(self.maximum, context_window)
+        minimum = min(self.minimum, maximum)
+        mean = min(self.mean, float(maximum))
+        return DatasetStats(
+            name=self.name,
+            suite=self.suite,
+            mean=mean,
+            std=self.std,
+            minimum=minimum,
+            maximum=maximum,
+            output_tokens=self.output_tokens,
+        )
+
+
+_DATASETS: dict[str, DatasetStats] = {}
+
+
+def _register(stats: DatasetStats) -> DatasetStats:
+    _DATASETS[stats.name.lower()] = stats
+    return stats
+
+
+QMSUM = _register(
+    DatasetStats(
+        name="qmsum", suite="LongBench", mean=13_966, std=6_182, minimum=2_651, maximum=30_456
+    )
+)
+MUSIQUE = _register(
+    DatasetStats(
+        name="musique", suite="LongBench", mean=16_362, std=1_651, minimum=6_820, maximum=17_917
+    )
+)
+MULTIFIELDQA = _register(
+    DatasetStats(
+        name="multifieldqa",
+        suite="LV-Eval",
+        mean=60_780,
+        std=31_025,
+        minimum=20_333,
+        maximum=119_480,
+    )
+)
+LOOGLE_SD = _register(
+    DatasetStats(
+        name="loogle-sd",
+        suite="LV-Eval",
+        mean=50_693,
+        std=26_506,
+        minimum=13_347,
+        maximum=109_221,
+    )
+)
+
+
+def list_datasets() -> list[str]:
+    """Names of all registered datasets."""
+    return sorted(_DATASETS)
+
+
+def get_dataset(name: str) -> DatasetStats:
+    """Look up a registered dataset by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _DATASETS:
+        known = ", ".join(list_datasets())
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}")
+    return _DATASETS[key]
+
+
+def synthetic_dataset(
+    name: str, mean: float, std: float, minimum: int, maximum: int, output_tokens: int = 256
+) -> DatasetStats:
+    """Build an ad-hoc dataset model (used by the scalability studies)."""
+    return DatasetStats(
+        name=name,
+        suite="synthetic",
+        mean=mean,
+        std=std,
+        minimum=minimum,
+        maximum=maximum,
+        output_tokens=output_tokens,
+    )

@@ -1,0 +1,94 @@
+"""Request trace generation for the serving simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.datasets import DatasetStats
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request of a serving trace.
+
+    Attributes:
+        request_id: Unique id within the trace.
+        prompt_tokens: Input (prefill) context length.
+        output_tokens: Tokens to generate during decoding.
+    """
+
+    request_id: int
+    prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens <= 0 or self.output_tokens <= 0:
+            raise ValueError("prompt_tokens and output_tokens must be positive")
+
+    @property
+    def final_context(self) -> int:
+        """Context length when the request completes."""
+        return self.prompt_tokens + self.output_tokens
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """An ordered collection of requests drawn from one dataset model."""
+
+    dataset: str
+    requests: tuple[Request, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def prompt_lengths(self) -> list[int]:
+        return [request.prompt_tokens for request in self.requests]
+
+    @property
+    def mean_prompt_tokens(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(self.prompt_lengths) / len(self.requests)
+
+    @property
+    def max_prompt_tokens(self) -> int:
+        return max(self.prompt_lengths, default=0)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(request.output_tokens for request in self.requests)
+
+
+def generate_trace(
+    dataset: DatasetStats,
+    num_requests: int,
+    seed: int = 0,
+    context_window: int | None = None,
+    output_tokens: int | None = None,
+) -> RequestTrace:
+    """Generate a request trace from a dataset's context-length statistics.
+
+    Args:
+        dataset: Context-length distribution to sample from.
+        num_requests: Number of requests to generate.
+        seed: Random seed (traces are reproducible).
+        context_window: Optional model context window to clamp prompts to.
+        output_tokens: Override for the per-request generation length.
+
+    Returns:
+        A :class:`RequestTrace` with ``num_requests`` requests.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    stats = dataset if context_window is None else dataset.clamp_to_window(context_window)
+    rng = np.random.default_rng(seed)
+    lengths = stats.sample(num_requests, rng)
+    generate = output_tokens if output_tokens is not None else stats.output_tokens
+    requests = tuple(
+        Request(request_id=index, prompt_tokens=int(length), output_tokens=generate)
+        for index, length in enumerate(lengths)
+    )
+    return RequestTrace(dataset=stats.name, requests=requests)

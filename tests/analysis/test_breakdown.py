@@ -1,0 +1,32 @@
+"""Tests for breakdown post-processing."""
+
+import pytest
+
+from repro.analysis.breakdown import BREAKDOWN_COMPONENTS, breakdown_fractions, normalize_breakdown
+from repro.pim.simulator import CycleBreakdown, ZERO_BREAKDOWN
+
+
+def sample() -> CycleBreakdown:
+    return CycleBreakdown(
+        mac=40, dt_gbuf=20, dt_outreg=10, act_pre=10, refresh=10, pipeline_penalty=10, total=100
+    )
+
+
+class TestBreakdownAnalysis:
+    def test_fractions_sum_to_one_for_serial_breakdowns(self):
+        fractions = breakdown_fractions(sample())
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["mac"] == pytest.approx(0.4)
+
+    def test_zero_breakdown_fractions(self):
+        fractions = breakdown_fractions(ZERO_BREAKDOWN)
+        assert all(value == 0.0 for value in fractions.values())
+        assert set(fractions) == set(BREAKDOWN_COMPONENTS)
+
+    def test_normalisation_against_reference(self):
+        normalized = normalize_breakdown(sample(), reference_total=200)
+        assert normalized["mac"] == pytest.approx(0.2)
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_breakdown(sample(), reference_total=0)

@@ -1,0 +1,43 @@
+"""Tests for serving-level energy accounting (paper Fig. 16)."""
+
+from repro.analysis.energy_report import serving_energy
+from repro.baselines.cent import cent_system_config
+from repro.core.orchestrator import PIMphonyConfig
+from repro.pim.energy import EnergyModel
+from repro.system.serving import simulate_serving
+from repro.workloads.datasets import get_dataset
+from repro.workloads.traces import generate_trace
+
+
+def run(model, config):
+    trace = generate_trace(
+        get_dataset("qmsum"), 6, seed=0, context_window=model.context_window, output_tokens=8
+    )
+    system = cent_system_config(model, pimphony=config)
+    return simulate_serving(system, trace, step_stride=4), system
+
+
+class TestServingEnergy:
+    def test_baseline_attention_is_background_dominated(self, llm_7b):
+        """The Fig. 16 observation: ~70% of baseline attention energy is
+        runtime-proportional background power."""
+        result, system = run(llm_7b, PIMphonyConfig.baseline())
+        energy = serving_energy(result, system.module.timing, EnergyModel())
+        assert energy["attention"].fraction("background") > 0.5
+
+    def test_pimphony_reduces_attention_energy_and_background_share(self, llm_7b):
+        baseline_result, baseline_system = run(llm_7b, PIMphonyConfig.baseline())
+        pimphony_result, pimphony_system = run(llm_7b, PIMphonyConfig.full())
+        model = EnergyModel()
+        baseline_energy = serving_energy(baseline_result, baseline_system.module.timing, model)
+        pimphony_energy = serving_energy(pimphony_result, pimphony_system.module.timing, model)
+        assert pimphony_energy["attention"].total < baseline_energy["attention"].total
+        assert (
+            pimphony_energy["attention"].fraction("background")
+            < baseline_energy["attention"].fraction("background")
+        )
+
+    def test_fc_energy_reported_separately(self, llm_7b):
+        result, system = run(llm_7b, PIMphonyConfig.full())
+        energy = serving_energy(result, system.module.timing)
+        assert energy["fc"].total > 0

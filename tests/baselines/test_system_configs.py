@@ -1,0 +1,47 @@
+"""Tests for the CENT and NeuPIMs baseline system configurations."""
+
+from repro.baselines.cent import cent_system_config, default_module_count as cent_modules
+from repro.baselines.neupims import (
+    default_module_count as neupims_modules,
+    neupims_system_config,
+)
+from repro.core.orchestrator import PIMphonyConfig
+
+
+class TestCENTConfig:
+    def test_memory_matched_module_counts(self, llm_7b, llm_72b):
+        """The paper: 8 modules (128GB) for 7B, 32 modules (512GB) for 72B."""
+        assert cent_modules(llm_7b) == 8
+        assert cent_modules(llm_72b) == 32
+        assert cent_system_config(llm_7b).total_capacity_bytes == 128 * 1024**3
+        assert cent_system_config(llm_72b).total_capacity_bytes == 512 * 1024**3
+
+    def test_baseline_features_by_default(self, llm_7b):
+        system = cent_system_config(llm_7b)
+        assert system.pimphony.label == "baseline"
+        assert not system.dynamic_memory
+
+    def test_prefers_tensor_parallel_plan(self, llm_7b):
+        system = cent_system_config(llm_7b)
+        assert system.plan.tensor_parallel == 8
+        assert system.plan.pipeline_parallel == 1
+
+    def test_pimphony_override(self, llm_7b):
+        system = cent_system_config(llm_7b, pimphony=PIMphonyConfig.full())
+        assert system.pimphony.dpa
+
+
+class TestNeuPIMsConfig:
+    def test_memory_matched_module_counts(self, llm_7b, llm_72b):
+        """The paper: 4 modules (128GB) for 7B, 16 modules (512GB) for 72B."""
+        assert neupims_modules(llm_7b) == 4
+        assert neupims_modules(llm_72b) == 16
+        assert neupims_system_config(llm_7b).total_capacity_bytes == 128 * 1024**3
+
+    def test_module_has_xpu_compute(self, llm_7b):
+        system = neupims_system_config(llm_7b)
+        assert system.module.compute_tflops == 256.0
+        assert system.xpu.peak_tflops > 0
+
+    def test_baseline_features_by_default(self, llm_7b):
+        assert neupims_system_config(llm_7b).pimphony.label == "baseline"

@@ -1,0 +1,53 @@
+"""Tests for DPA encoding and the instruction footprint model (Fig. 10)."""
+
+import pytest
+
+from repro.compiler.dpa_encoding import (
+    dpa_instruction_footprint,
+    encode_attention_loop,
+    static_instruction_footprint,
+)
+from repro.pim.isa import PIMInstruction, PIMOpcode
+
+
+class TestEncoding:
+    def test_loop_wraps_body_with_dyn_instructions(self):
+        body = (
+            PIMInstruction(opcode=PIMOpcode.WR_INP),
+            PIMInstruction(opcode=PIMOpcode.MAC),
+            PIMInstruction(opcode=PIMOpcode.RD_OUT),
+        )
+        encoded = encode_attention_loop(body)
+        opcodes = [instruction.opcode for instruction in encoded.instructions]
+        assert opcodes[0] is PIMOpcode.DYN_LOOP
+        assert PIMOpcode.DYN_MODI in opcodes
+        assert encoded.body_instructions == 3
+        assert encoded.encoded_bytes == 8 * len(encoded.instructions)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            encode_attention_loop(())
+
+
+class TestFootprint:
+    def test_static_footprint_linear_in_context(self):
+        assert static_instruction_footprint(64 * 1024) == 4 * static_instruction_footprint(16 * 1024)
+
+    def test_dpa_footprint_context_independent(self):
+        assert dpa_instruction_footprint(1024) == dpa_instruction_footprint(1024 * 1024)
+
+    def test_footprint_scales_with_heads_and_layers(self):
+        base = static_instruction_footprint(4096, kv_heads=1, layers=1)
+        assert static_instruction_footprint(4096, kv_heads=8, layers=2) == 16 * base
+
+    def test_fig10c_gap_at_1m_tokens(self):
+        """At 1M tokens the static stream is ~100000x larger than DPA's."""
+        static = static_instruction_footprint(1024 * 1024)
+        dpa = dpa_instruction_footprint(1024 * 1024)
+        assert static / dpa > 10_000
+
+    def test_negative_context_rejected(self):
+        with pytest.raises(ValueError):
+            static_instruction_footprint(-1)
+        with pytest.raises(ValueError):
+            dpa_instruction_footprint(-1)

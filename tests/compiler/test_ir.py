@@ -1,0 +1,69 @@
+"""Tests for the tensor IR and decoder graph builder."""
+
+import pytest
+
+from repro.compiler.ir import Graph, Operation, OpType, TensorType, build_decoder_graph
+
+
+class TestTensorType:
+    def test_element_and_byte_counts(self):
+        tensor = TensorType((4, 128), dtype_bytes=2)
+        assert tensor.num_elements == 512
+        assert tensor.num_bytes == 1024
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TensorType((0, 4))
+        with pytest.raises(ValueError):
+            TensorType((4,), dtype_bytes=0)
+
+
+class TestGraph:
+    def test_duplicate_values_and_ops_rejected(self):
+        graph = Graph(name="g")
+        graph.add_value("x", TensorType((1,)))
+        with pytest.raises(ValueError):
+            graph.add_value("x", TensorType((1,)))
+        graph.add_operation(Operation(name="op", op_type=OpType.ELEMENTWISE, inputs=["x"], outputs=[]))
+        with pytest.raises(ValueError):
+            graph.add_operation(Operation(name="op", op_type=OpType.ELEMENTWISE))
+
+    def test_undefined_values_rejected(self):
+        graph = Graph(name="g")
+        with pytest.raises(ValueError):
+            graph.add_operation(Operation(name="op", op_type=OpType.MATMUL, inputs=["missing"]))
+
+    def test_producer_consumer_lookup(self):
+        graph = Graph(name="g")
+        graph.add_value("a", TensorType((1,)))
+        graph.add_value("b", TensorType((1,)))
+        op = Operation(name="op", op_type=OpType.ELEMENTWISE, inputs=["a"], outputs=["b"])
+        graph.add_operation(op)
+        assert graph.producers("b") == [op]
+        assert graph.consumers("a") == [op]
+        with pytest.raises(KeyError):
+            graph.operation("nope")
+
+
+class TestDecoderGraph:
+    def test_structure_matches_model(self, llm_7b_gqa):
+        graph = build_decoder_graph(llm_7b_gqa, context_length=4096)
+        matmuls = graph.operations_of_type(OpType.MATMUL)
+        # QKV + out + gate + up + down = 5 FC matmuls, plus QK^T and SV per KV head.
+        assert len(matmuls) == 5 + 2 * llm_7b_gqa.num_kv_heads
+        softmaxes = graph.operations_of_type(OpType.SOFTMAX)
+        assert len(softmaxes) == llm_7b_gqa.num_kv_heads
+
+    def test_attention_ops_tagged_dynamic(self, llm_7b):
+        graph = build_decoder_graph(llm_7b, context_length=1024)
+        qkt = graph.operation("qkt_kv0")
+        assert qkt.attr("dynamic_dim") == "context_length"
+        assert qkt.role == "qkt"
+
+    def test_kv_cache_shape_tracks_context(self, llm_7b):
+        graph = build_decoder_graph(llm_7b, context_length=777)
+        assert graph.values["kv_cache_k"].shape[0] == 777
+
+    def test_invalid_context_rejected(self, llm_7b):
+        with pytest.raises(ValueError):
+            build_decoder_graph(llm_7b, context_length=0)

@@ -1,0 +1,59 @@
+"""Tests for the compiler pass pipeline."""
+
+import pytest
+
+from repro.compiler.passes import (
+    DPAEncodingPass,
+    PartitioningPass,
+    PassManager,
+    compile_decoder,
+)
+from repro.pim.config import cent_module_config
+
+
+class TestCompileDecoder:
+    def test_full_pipeline_produces_instructions(self, llm_7b):
+        program = compile_decoder(llm_7b, 8192, cent_module_config())
+        assert program.total_instructions > 0
+        assert program.partitioning == "tcp"
+        assert program.dpa_enabled
+        assert program.instruction_bytes > 0
+
+    def test_tcp_targets_all_channels_hfp_targets_one(self, llm_7b):
+        module = cent_module_config()
+        tcp = compile_decoder(llm_7b, 8192, module, partitioning="tcp")
+        hfp = compile_decoder(llm_7b, 8192, module, partitioning="hfp")
+        tcp_mask = int(tcp.metadata["attention_channel_mask"])
+        hfp_mask = int(hfp.metadata["attention_channel_mask"])
+        assert bin(tcp_mask).count("1") == module.num_channels
+        assert bin(hfp_mask).count("1") == 1
+
+    def test_dpa_shrinks_instruction_footprint(self, llm_7b_gqa):
+        module = cent_module_config()
+        with_dpa = compile_decoder(llm_7b_gqa, 128 * 1024, module, dpa_enabled=True)
+        without_dpa = compile_decoder(llm_7b_gqa, 128 * 1024, module, dpa_enabled=False)
+        assert with_dpa.instruction_bytes < without_dpa.instruction_bytes / 100
+
+    def test_attention_instruction_count_scales_with_kv_heads(self, llm_7b, llm_7b_gqa):
+        module = cent_module_config()
+        dense = compile_decoder(llm_7b, 8192, module)
+        gqa = compile_decoder(llm_7b_gqa, 8192, module)
+        assert len(dense.attention_instructions) == 4 * len(gqa.attention_instructions)
+
+
+class TestPassManager:
+    def test_invalid_partitioning_rejected(self):
+        with pytest.raises(ValueError):
+            PartitioningPass("diagonal", cent_module_config())
+
+    def test_passes_run_in_order(self, llm_7b):
+        from repro.compiler.ir import build_decoder_graph
+        from repro.compiler.passes import CompiledProgram, PatternDetectionPass
+
+        graph = build_decoder_graph(llm_7b, 1024)
+        manager = PassManager().add(PatternDetectionPass()).add(
+            DPAEncodingPass(enabled=False, context_length=1024, kv_heads=llm_7b.num_kv_heads)
+        )
+        program = manager.run(CompiledProgram(graph=graph))
+        assert "attention_patterns" in program.metadata
+        assert not program.dpa_enabled

@@ -1,0 +1,57 @@
+"""Shared fixtures for the PIMphony reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.llm import get_model
+from repro.pim.config import PIMChannelConfig, cent_module_config, neupims_module_config
+from repro.pim.timing import aimx_timing, illustrative_timing
+
+
+@pytest.fixture
+def channel() -> PIMChannelConfig:
+    """Default AiMX-class PIM channel."""
+    return PIMChannelConfig()
+
+
+@pytest.fixture
+def timing():
+    """Default AiMX-class channel timing."""
+    return aimx_timing()
+
+
+@pytest.fixture
+def fig7_timing():
+    """Timing of the paper's Fig. 7 didactic example."""
+    return illustrative_timing()
+
+
+@pytest.fixture
+def llm_7b():
+    return get_model("LLM-7B-32K")
+
+
+@pytest.fixture
+def llm_7b_gqa():
+    return get_model("LLM-7B-128K")
+
+
+@pytest.fixture
+def llm_72b():
+    return get_model("LLM-72B-32K")
+
+
+@pytest.fixture
+def llm_72b_gqa():
+    return get_model("LLM-72B-128K")
+
+
+@pytest.fixture
+def cent_module():
+    return cent_module_config()
+
+
+@pytest.fixture
+def neupims_module():
+    return neupims_module_config()

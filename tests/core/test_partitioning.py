@@ -1,0 +1,111 @@
+"""Tests for HFP vs TCP intra-module partitioning (paper Sec. IV, Fig. 4/6)."""
+
+import pytest
+
+from repro.core.partitioning import (
+    AttentionTask,
+    ChannelAssignment,
+    HeadFirstPartitioner,
+    TokenCentricPartitioner,
+    evaluate_assignment,
+    tasks_from_batch,
+)
+
+
+def long_context_tasks(num_requests: int = 2, kv_heads: int = 2, tokens: int = 32768):
+    """A long-context decode step: few (request, head) pairs, many tokens."""
+    return tasks_from_batch([tokens] * num_requests, kv_heads)
+
+
+class TestTaskConstruction:
+    def test_tasks_from_batch_counts(self):
+        tasks = tasks_from_batch([100, 200], num_kv_heads=4, group_size=2)
+        assert len(tasks) == 8
+        assert {task.group_size for task in tasks} == {2}
+
+    def test_invalid_task_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionTask(request_id=0, kv_head=0, context_length=-1)
+        with pytest.raises(ValueError):
+            AttentionTask(request_id=0, kv_head=0, context_length=1, group_size=0)
+
+
+class TestAssignment:
+    def test_channel_bounds_checked(self):
+        assignment = ChannelAssignment(num_channels=4)
+        task = AttentionTask(0, 0, 100)
+        with pytest.raises(ValueError):
+            assignment.add(4, task, 10)
+        with pytest.raises(ValueError):
+            assignment.add(0, task, -1)
+
+    def test_zero_token_slices_not_recorded(self):
+        assignment = ChannelAssignment(num_channels=2)
+        assignment.add(0, AttentionTask(0, 0, 100), 0)
+        assert assignment.active_channels == 0
+
+
+class TestHFP:
+    def test_few_long_tasks_leave_channels_idle(self):
+        """The Fig. 6(b,c) pathology: 4 tasks cannot fill 16 channels."""
+        assignment = HeadFirstPartitioner().partition(long_context_tasks(), num_channels=16)
+        assert assignment.active_channels == 4
+        assert assignment.load_balance < 0.5
+
+    def test_length_imbalance_caps_at_slowest_channel(self):
+        tasks = tasks_from_batch([32768, 4096], num_kv_heads=1)
+        assignment = HeadFirstPartitioner().partition(tasks, num_channels=2)
+        loads = assignment.tokens_per_channel()
+        assert max(loads) == 32768
+        assert assignment.load_balance == pytest.approx((32768 + 4096) / (2 * 32768))
+
+    def test_tasks_never_split(self):
+        tasks = long_context_tasks()
+        assignment = HeadFirstPartitioner().partition(tasks, num_channels=16)
+        for slices in assignment.slices.values():
+            for task_slice in slices:
+                assert task_slice.tokens == task_slice.task.context_length
+
+
+class TestTCP:
+    def test_all_channels_active_regardless_of_batch(self):
+        assignment = TokenCentricPartitioner().partition(long_context_tasks(1, 1), 16)
+        assert assignment.active_channels == 16
+
+    def test_tokens_conserved_and_balanced(self):
+        tasks = tasks_from_batch([10_000, 7_000], num_kv_heads=2)
+        assignment = TokenCentricPartitioner().partition(tasks, num_channels=16)
+        assert sum(assignment.tokens_per_channel()) == 2 * (10_000 + 7_000)
+        assert assignment.load_balance > 0.99
+
+    def test_remainder_tokens_distributed(self):
+        tasks = [AttentionTask(0, 0, 17)]
+        assignment = TokenCentricPartitioner().partition(tasks, num_channels=16)
+        loads = assignment.tokens_per_channel()
+        assert sum(loads) == 17
+        assert max(loads) - min(loads) <= 1
+
+
+class TestEvaluation:
+    def test_tcp_beats_hfp_on_long_contexts(self, channel, timing):
+        """The Fig. 4 effect: TCP restores channel utilisation and latency."""
+        tasks = long_context_tasks(num_requests=2, kv_heads=2, tokens=16384)
+        hfp = HeadFirstPartitioner().partition(tasks, 16)
+        tcp = TokenCentricPartitioner().partition(tasks, 16)
+        hfp_eval = evaluate_assignment(hfp, 128, channel, timing, policy="static")
+        tcp_eval = evaluate_assignment(tcp, 128, channel, timing, policy="static")
+        assert tcp_eval.channel_utilization > 2 * hfp_eval.channel_utilization
+        assert tcp_eval.module_cycles < hfp_eval.module_cycles
+
+    def test_tcp_reduction_overhead_is_negligible(self, channel, timing):
+        """The paper reports <0.2% overhead for the SV cross-channel reduce."""
+        tasks = long_context_tasks(num_requests=1, kv_heads=2, tokens=16384)
+        tcp = TokenCentricPartitioner().partition(tasks, 16)
+        evaluation = evaluate_assignment(tcp, 128, channel, timing, policy="dcs")
+        assert evaluation.reduction_cycles < 0.01 * evaluation.module_cycles
+
+    def test_empty_assignment_evaluates_to_zero(self, channel, timing):
+        assignment = TokenCentricPartitioner().partition([], 16)
+        evaluation = evaluate_assignment(assignment, 128, channel, timing, policy="dcs")
+        assert evaluation.module_cycles == 0.0
+        assert evaluation.channel_utilization == 0.0

@@ -1,0 +1,49 @@
+"""Tests for the per-bank row-buffer state machine."""
+
+import pytest
+
+from repro.dram.bank import BankState
+from repro.dram.timing import DRAMTiming
+
+
+class TestBankState:
+    def test_first_access_pays_only_activate(self):
+        timing = DRAMTiming()
+        bank = BankState(timing)
+        assert bank.access(3) == timing.t_rcd
+        assert bank.open_row == 3
+        assert bank.activations == 1
+
+    def test_row_hit_is_free(self):
+        bank = BankState(DRAMTiming())
+        bank.access(1)
+        assert bank.access(1) == 0
+        assert bank.row_hits == 1
+
+    def test_row_miss_pays_precharge_and_activate(self):
+        timing = DRAMTiming()
+        bank = BankState(timing)
+        bank.access(1)
+        assert bank.access(2) == timing.row_switch_cycles
+        assert bank.open_row == 2
+
+    def test_precharge_closes_row(self):
+        timing = DRAMTiming()
+        bank = BankState(timing)
+        bank.access(1)
+        assert bank.precharge() == timing.t_rp
+        assert bank.open_row is None
+        assert bank.precharge() == 0
+
+    def test_hit_rate_tracking(self):
+        bank = BankState(DRAMTiming())
+        assert bank.row_hit_rate == 0.0
+        bank.access(0)
+        bank.access(0)
+        bank.access(1)
+        assert bank.row_hit_rate == pytest.approx(1 / 3)
+
+    def test_negative_row_rejected(self):
+        bank = BankState(DRAMTiming())
+        with pytest.raises(ValueError):
+            bank.access(-1)

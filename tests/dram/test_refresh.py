@@ -1,0 +1,24 @@
+"""Tests for the rate-based refresh model."""
+
+import pytest
+
+from repro.dram.refresh import RefreshModel
+from repro.dram.timing import DRAMTiming
+
+
+class TestRefreshModel:
+    def test_overhead_matches_duty_cycle(self):
+        timing = DRAMTiming(t_rfc=100, t_refi=1000)
+        model = RefreshModel(timing)
+        # 10% of time is refresh, so overhead per busy cycle is 1/9.
+        assert model.overhead_fraction == pytest.approx(1 / 9)
+        assert model.with_refresh(900) == pytest.approx(1000)
+
+    def test_zero_work_zero_refresh(self):
+        model = RefreshModel(DRAMTiming())
+        assert model.refresh_cycles(0) == 0.0
+
+    def test_negative_work_rejected(self):
+        model = RefreshModel(DRAMTiming())
+        with pytest.raises(ValueError):
+            model.refresh_cycles(-1)

@@ -1,0 +1,27 @@
+"""Tests for DRAM timing parameters."""
+
+import pytest
+
+from repro.dram.timing import DRAMTiming
+
+
+class TestDRAMTiming:
+    def test_defaults_are_consistent(self):
+        timing = DRAMTiming()
+        assert timing.row_switch_cycles == timing.t_rp + timing.t_rcd
+        assert 0 < timing.refresh_fraction < 0.2
+        assert timing.tiles_per_row == timing.row_bytes // 32
+
+    def test_cycle_second_round_trip(self):
+        timing = DRAMTiming(clock_ghz=2.0)
+        seconds = timing.cycles_to_seconds(2000)
+        assert seconds == pytest.approx(1e-6)
+        assert timing.seconds_to_cycles(seconds) == pytest.approx(2000)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMTiming(clock_ghz=0)
+        with pytest.raises(ValueError):
+            DRAMTiming(t_rcd=0)
+        with pytest.raises(ValueError):
+            DRAMTiming(t_rfc=5000, t_refi=100)

@@ -1,0 +1,31 @@
+"""Tests for capacity-utilisation tracking."""
+
+import pytest
+
+from repro.memory.capacity import CapacityTracker
+
+
+class TestCapacityTracker:
+    def test_average_over_meaningful_samples(self):
+        tracker = CapacityTracker()
+        tracker.record(0, allocated_bytes=100, used_bytes=50)
+        tracker.record(1, allocated_bytes=200, used_bytes=150)
+        tracker.record(2, allocated_bytes=0, used_bytes=0)
+        assert tracker.average_utilization == pytest.approx((0.5 + 0.75) / 2)
+
+    def test_peak_allocation(self):
+        tracker = CapacityTracker()
+        tracker.record(0, 100, 10)
+        tracker.record(1, 300, 10)
+        tracker.record(2, 200, 10)
+        assert tracker.peak_allocated_bytes == 300
+
+    def test_empty_tracker(self):
+        tracker = CapacityTracker()
+        assert tracker.average_utilization == 0.0
+        assert tracker.peak_allocated_bytes == 0
+
+    def test_negative_sample_rejected(self):
+        tracker = CapacityTracker()
+        with pytest.raises(ValueError):
+            tracker.record(0, -1, 0)

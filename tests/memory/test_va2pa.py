@@ -1,0 +1,64 @@
+"""Tests for the VA2PA translation table."""
+
+import pytest
+
+from repro.memory.va2pa import TranslationError, VA2PATable
+
+
+class TestVA2PATable:
+    def test_translate_within_chunk(self):
+        table = VA2PATable(chunk_bytes=1024)
+        table.map(request_id=1, virtual_chunk=0, physical_chunk=5)
+        assert table.translate(1, 0) == 5 * 1024
+        assert table.translate(1, 100) == 5 * 1024 + 100
+
+    def test_translate_across_chunks(self):
+        table = VA2PATable(chunk_bytes=1024)
+        table.map(1, 0, 5)
+        table.map(1, 1, 2)
+        assert table.translate(1, 1024 + 8) == 2 * 1024 + 8
+
+    def test_per_request_isolation(self):
+        # The paper's example: the same virtual address resolves to different
+        # physical locations for different requests.
+        table = VA2PATable(chunk_bytes=1024)
+        table.map(1, 0, 22)
+        table.map(2, 0, 33)
+        assert table.translate(1, 0) == 22 * 1024
+        assert table.translate(2, 0) == 33 * 1024
+
+    def test_unmapped_access_raises(self):
+        table = VA2PATable(chunk_bytes=1024)
+        with pytest.raises(TranslationError):
+            table.translate(1, 0)
+
+    def test_remapping_conflict_rejected(self):
+        table = VA2PATable(chunk_bytes=1024)
+        table.map(1, 0, 5)
+        with pytest.raises(ValueError):
+            table.map(1, 0, 6)
+        # Idempotent remap to the same chunk is allowed.
+        table.map(1, 0, 5)
+
+    def test_release_removes_only_that_request(self):
+        table = VA2PATable(chunk_bytes=1024)
+        table.map(1, 0, 5)
+        table.map(2, 0, 7)
+        freed = table.release(1)
+        assert freed == [5]
+        assert table.num_entries == 1
+        assert table.translate(2, 0) == 7 * 1024
+
+    def test_chunks_listed_in_virtual_order(self):
+        table = VA2PATable(chunk_bytes=1024)
+        table.map(1, 2, 9)
+        table.map(1, 0, 4)
+        table.map(1, 1, 7)
+        assert table.chunks_of(1) == [4, 7, 9]
+
+    def test_table_bytes_scales_with_entries(self):
+        table = VA2PATable(chunk_bytes=1024)
+        assert table.table_bytes == 0
+        table.map(1, 0, 1)
+        table.map(1, 1, 2)
+        assert table.table_bytes == 16

@@ -1,0 +1,38 @@
+"""Tests for the memory footprint analysis (paper Fig. 2(b))."""
+
+import pytest
+
+from repro.models.footprint import A100_CAPACITY_BYTES, memory_footprint
+
+
+class TestFootprint:
+    def test_growth_with_context_and_batch(self, llm_7b):
+        base = memory_footprint(llm_7b, 4096, 1)
+        longer = memory_footprint(llm_7b, 32 * 1024, 1)
+        wider = memory_footprint(llm_7b, 4096, 16)
+        assert longer.kv_cache_bytes > base.kv_cache_bytes
+        assert wider.kv_cache_bytes == 16 * base.kv_cache_bytes
+        assert longer.total_bytes > base.total_bytes
+
+    def test_7b_single_short_request_fits_a100(self, llm_7b):
+        assert memory_footprint(llm_7b, 4096, 1).fits(A100_CAPACITY_BYTES)
+
+    def test_7b_large_batch_long_context_exceeds_a100(self, llm_7b):
+        # The Fig. 2(b) out-of-memory region: long context x large batch.
+        footprint = memory_footprint(llm_7b, 32 * 1024, 16)
+        assert not footprint.fits(A100_CAPACITY_BYTES)
+
+    def test_param_bytes_independent_of_workload(self, llm_7b):
+        a = memory_footprint(llm_7b, 1024, 1)
+        b = memory_footprint(llm_7b, 64 * 1024, 32)
+        assert a.param_bytes == b.param_bytes
+
+    def test_negative_inputs_rejected(self, llm_7b):
+        with pytest.raises(ValueError):
+            memory_footprint(llm_7b, -1, 1)
+        with pytest.raises(ValueError):
+            memory_footprint(llm_7b, 1, -1)
+
+    def test_total_gib_conversion(self, llm_7b):
+        footprint = memory_footprint(llm_7b, 1024, 1)
+        assert footprint.total_gib == pytest.approx(footprint.total_bytes / 1024**3)

@@ -1,0 +1,95 @@
+"""Tests for the LLM configuration registry (paper Table I)."""
+
+import pytest
+
+from repro.models.llm import LLMConfig, get_model, list_models
+
+
+class TestRegistry:
+    def test_all_four_paper_models_registered(self):
+        names = list_models()
+        for expected in ("LLM-7B-32K", "LLM-7B-128K", "LLM-72B-32K", "LLM-72B-128K"):
+            assert expected in names
+
+    def test_get_model_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("LLM-13B")
+
+    def test_table1_7b_shape(self):
+        model = get_model("LLM-7B-32K")
+        assert model.num_layers == 32
+        assert model.num_heads == 32
+        assert model.head_dim == 128
+        assert model.d_model == 4096
+        assert not model.gqa_enabled
+        assert model.context_window == 32 * 1024
+
+    def test_table1_72b_shape(self):
+        model = get_model("LLM-72B-128K")
+        assert model.num_layers == 80
+        assert model.num_heads == 64
+        assert model.head_dim == 128
+        assert model.gqa_group_size == 8
+        assert model.context_window == 128 * 1024
+
+
+class TestDerivedProperties:
+    def test_gqa_reduces_kv_heads(self):
+        dense = get_model("LLM-7B-32K")
+        gqa = get_model("LLM-7B-128K")
+        assert dense.num_kv_heads == 32
+        assert gqa.num_kv_heads == 8
+        assert gqa.kv_bytes_per_token < dense.kv_bytes_per_token
+
+    def test_kv_bytes_per_token_structure(self):
+        model = get_model("LLM-7B-32K")
+        expected = model.num_layers * 2 * model.d_model * model.dtype_bytes
+        assert model.kv_bytes_per_token == expected
+
+    def test_param_count_is_roughly_model_scale(self):
+        small = get_model("LLM-7B-32K")
+        large = get_model("LLM-72B-32K")
+        assert 5e9 < small.param_count < 10e9
+        assert 50e9 < large.param_count < 90e9
+        assert large.param_bytes > small.param_bytes
+
+    def test_with_context_window_only_changes_window(self):
+        base = get_model("LLM-7B-128K")
+        extended = base.with_context_window(1024 * 1024)
+        assert extended.context_window == 1024 * 1024
+        assert extended.num_layers == base.num_layers
+        assert extended.kv_bytes_per_token == base.kv_bytes_per_token
+
+
+class TestValidation:
+    def _kwargs(self, **overrides):
+        kwargs = dict(
+            name="test",
+            num_layers=2,
+            num_heads=4,
+            head_dim=16,
+            d_model=64,
+            ffn_dim=128,
+            gqa_group_size=1,
+            context_window=1024,
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_valid_config_builds(self):
+        config = LLMConfig(**self._kwargs())
+        assert config.kv_dim == 64
+
+    def test_d_model_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="d_model"):
+            LLMConfig(**self._kwargs(d_model=128))
+
+    def test_group_size_must_divide_heads(self):
+        with pytest.raises(ValueError, match="divisible"):
+            LLMConfig(**self._kwargs(gqa_group_size=3))
+
+    def test_non_positive_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            LLMConfig(**self._kwargs(num_layers=0))
+        with pytest.raises(ValueError):
+            LLMConfig(**self._kwargs(context_window=0))

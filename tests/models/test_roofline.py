@@ -1,0 +1,30 @@
+"""Tests for the compute-intensity analysis (paper Fig. 2(a))."""
+
+from repro.models.roofline import compute_intensity, decode_compute_intensity_sweep
+
+
+class TestIntensitySweep:
+    def test_sweep_is_monotonically_decreasing(self, llm_7b_gqa):
+        # Batched decoding (the Fig. 2(a) setting): FC compute is amortised
+        # across the batch while attention stays per-request, so intensity
+        # collapses as the context grows.
+        contexts = [1024, 4096, 16 * 1024, 64 * 1024, 128 * 1024]
+        points = decode_compute_intensity_sweep(llm_7b_gqa, contexts, batch_size=8)
+        intensities = [point.compute_intensity for point in points]
+        assert intensities == sorted(intensities, reverse=True)
+
+    def test_attention_fraction_grows_with_context(self, llm_7b_gqa):
+        points = decode_compute_intensity_sweep(llm_7b_gqa, [1024, 64 * 1024])
+        assert points[1].attention_byte_fraction > points[0].attention_byte_fraction
+
+    def test_long_context_is_memory_bound(self, llm_7b_gqa):
+        # At 128K tokens the decode step moves far more bytes than it can
+        # amortise with compute: intensity well below typical machine balance.
+        assert compute_intensity(llm_7b_gqa, 128 * 1024) < 5.0
+
+    def test_sweep_points_echo_inputs(self, llm_7b):
+        points = decode_compute_intensity_sweep(llm_7b, [2048], batch_size=3)
+        assert points[0].context_length == 2048
+        assert points[0].batch_size == 3
+        assert points[0].flops > 0
+        assert points[0].bytes_moved > 0

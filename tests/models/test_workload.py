@@ -1,0 +1,66 @@
+"""Tests for the decode-step operator workload model."""
+
+import pytest
+
+from repro.models.workload import OperatorKind, build_decode_workload
+
+
+class TestOperatorStructure:
+    def test_operator_counts_per_layer(self, llm_7b):
+        workload = build_decode_workload(llm_7b, [1024])
+        fc = workload.operators_of_kind(OperatorKind.FC)
+        qkt = workload.operators_of_kind(OperatorKind.ATTENTION_QKT)
+        sv = workload.operators_of_kind(OperatorKind.ATTENTION_SV)
+        # 5 FC matrices per layer (QKV, out, gate, up, down) for a gated FFN.
+        assert len(fc) == 5 * llm_7b.num_layers
+        assert len(qkt) == llm_7b.num_layers * llm_7b.num_kv_heads
+        assert len(sv) == len(qkt)
+
+    def test_gqa_reduces_attention_operator_count(self, llm_7b, llm_7b_gqa):
+        dense = build_decode_workload(llm_7b, [1024])
+        gqa = build_decode_workload(llm_7b_gqa, [1024])
+        dense_qkt = dense.operators_of_kind(OperatorKind.ATTENTION_QKT)
+        gqa_qkt = gqa.operators_of_kind(OperatorKind.ATTENTION_QKT)
+        assert len(gqa_qkt) == len(dense_qkt) // llm_7b_gqa.gqa_group_size
+
+    def test_softmax_only_when_requested(self, llm_7b):
+        without = build_decode_workload(llm_7b, [128])
+        with_softmax = build_decode_workload(llm_7b, [128], include_softmax=True)
+        assert not without.operators_of_kind(OperatorKind.SOFTMAX)
+        assert with_softmax.operators_of_kind(OperatorKind.SOFTMAX)
+
+    def test_empty_batch_has_no_operators(self, llm_7b):
+        workload = build_decode_workload(llm_7b, [])
+        assert workload.operators == []
+        assert workload.compute_intensity == 0.0
+
+    def test_invalid_context_rejected(self, llm_7b):
+        with pytest.raises(ValueError):
+            build_decode_workload(llm_7b, [0])
+
+
+class TestIntensity:
+    def test_attention_bytes_grow_with_context(self, llm_7b):
+        short = build_decode_workload(llm_7b, [1024])
+        long = build_decode_workload(llm_7b, [16 * 1024])
+        assert long.attention_bytes > 8 * short.attention_bytes
+        assert long.fc_bytes == short.fc_bytes
+
+    def test_compute_intensity_decreases_with_context(self, llm_7b):
+        intensities = [
+            build_decode_workload(llm_7b, [context]).compute_intensity
+            for context in (1024, 8 * 1024, 32 * 1024)
+        ]
+        assert intensities[0] > intensities[1] > intensities[2]
+
+    def test_batching_raises_intensity(self, llm_7b):
+        single = build_decode_workload(llm_7b, [4096])
+        batched = build_decode_workload(llm_7b, [4096] * 8)
+        assert batched.compute_intensity > single.compute_intensity
+
+    def test_operator_flops_and_bytes_positive(self, llm_7b):
+        workload = build_decode_workload(llm_7b, [2048, 1024])
+        for operator in workload.operators:
+            assert operator.flops > 0
+            assert operator.total_bytes > 0
+            assert operator.compute_intensity > 0

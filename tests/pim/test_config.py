@@ -1,0 +1,66 @@
+"""Tests for PIM channel / module configurations (paper Table IV)."""
+
+import pytest
+
+from repro.pim.config import (
+    PIMChannelConfig,
+    PIMModuleConfig,
+    cent_module_config,
+    neupims_module_config,
+)
+from repro.pim.timing import aimx_timing
+
+
+class TestChannelConfig:
+    def test_default_buffer_geometry(self):
+        channel = PIMChannelConfig()
+        assert channel.num_banks == 16
+        assert channel.gbuf_entries == 64  # 2KB of 32B tiles
+        assert channel.outreg_entries == 2  # 4B per bank
+        assert channel.obuf_entries > channel.outreg_entries
+
+    def test_macs_per_command(self):
+        channel = PIMChannelConfig()
+        assert channel.macs_per_command == 256
+        assert channel.flops_per_command == 512
+
+    def test_gbuf_must_be_tile_aligned(self):
+        with pytest.raises(ValueError):
+            PIMChannelConfig(gbuf_bytes=100)
+
+    def test_non_positive_fields_rejected(self):
+        with pytest.raises(ValueError):
+            PIMChannelConfig(num_banks=0)
+
+
+class TestModuleConfig:
+    def test_neupims_module_matches_table4(self):
+        module = neupims_module_config()
+        assert module.num_channels == 32
+        assert module.capacity_bytes == 32 * 1024**3
+        assert module.internal_bandwidth_bytes == pytest.approx(32e12)
+        assert module.compute_tflops == 256.0
+
+    def test_cent_module_matches_table4(self):
+        module = cent_module_config()
+        assert module.num_channels == 32
+        assert module.capacity_bytes == 16 * 1024**3
+        assert module.internal_bandwidth_bytes == pytest.approx(16e12)
+        assert module.compute_tflops == 3.0
+
+    def test_derived_quantities(self):
+        module = cent_module_config()
+        assert module.capacity_per_channel == module.capacity_bytes // 32
+        assert module.total_banks == 32 * 16
+        assert module.peak_mac_flops_per_cycle > 0
+
+    def test_invalid_module_rejected(self):
+        with pytest.raises(ValueError):
+            PIMModuleConfig(
+                name="bad",
+                num_channels=0,
+                channel=PIMChannelConfig(),
+                capacity_bytes=1,
+                internal_bandwidth_bytes=1.0,
+                timing=aimx_timing(),
+            )

@@ -1,0 +1,52 @@
+"""Tests for the PIM energy model."""
+
+import pytest
+
+from repro.analysis.energy_report import energy_from_breakdown
+from repro.pim.energy import EnergyBreakdown, EnergyModel, ZERO_ENERGY
+from repro.pim.kernels import qkt_cycles
+
+
+class TestEnergyBreakdown:
+    def test_total_and_fractions(self):
+        breakdown = EnergyBreakdown(mac=1.0, io=2.0, background=5.0, act_pre=1.0, refresh=1.0)
+        assert breakdown.total == 10.0
+        assert breakdown.fraction("background") == pytest.approx(0.5)
+        assert breakdown.else_energy == 2.0
+
+    def test_addition_and_scaling(self):
+        a = EnergyBreakdown(mac=1.0, io=1.0, background=1.0, act_pre=1.0, refresh=1.0)
+        assert (a + a).total == pytest.approx(2 * a.total)
+        assert a.scaled(3).total == pytest.approx(3 * a.total)
+
+    def test_zero_energy_fraction(self):
+        assert ZERO_ENERGY.fraction("mac") == 0.0
+
+
+class TestEnergyModel:
+    def test_channel_energy_components(self, channel, timing):
+        model = EnergyModel()
+        breakdown = qkt_cycles(4096, 128, channel, timing, "static")
+        energy = model.channel_energy(
+            breakdown, n_mac=1000, n_io_tiles=300, n_activations=10
+        )
+        assert energy.mac == pytest.approx(1000 * model.energy_per_mac_command)
+        assert energy.io == pytest.approx(300 * model.energy_per_io_tile)
+        assert energy.background > 0
+
+    def test_idle_energy_is_background_only(self):
+        model = EnergyModel()
+        energy = model.idle_energy(1e9)
+        assert energy.mac == 0 and energy.io == 0
+        assert energy.background == pytest.approx(model.background_power_watts, rel=0.01)
+
+    def test_slower_schedule_burns_more_background(self, channel, timing):
+        """The Fig. 16 mechanism: background energy tracks runtime."""
+        model = EnergyModel()
+        static = qkt_cycles(8192, 128, channel, timing, "static")
+        dcs = qkt_cycles(8192, 128, channel, timing, "dcs")
+        static_energy = energy_from_breakdown(static, timing, model)
+        dcs_energy = energy_from_breakdown(dcs, timing, model)
+        assert static_energy.background > dcs_energy.background
+        # The event-driven components are identical (same command counts).
+        assert static_energy.mac == pytest.approx(dcs_energy.mac, rel=0.01)

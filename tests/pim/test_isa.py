@@ -1,0 +1,63 @@
+"""Tests for the PIM instruction set (paper Table III)."""
+
+import pytest
+
+from repro.pim.isa import (
+    INSTRUCTION_BYTES,
+    PIMCommand,
+    PIMInstruction,
+    PIMOpcode,
+    mac,
+    read_output,
+    write_input,
+)
+
+
+class TestOpcodes:
+    def test_io_and_compute_classification(self):
+        assert PIMOpcode.WR_INP.is_io
+        assert PIMOpcode.RD_OUT.is_io
+        assert not PIMOpcode.MAC.is_io
+        assert PIMOpcode.MAC.is_compute
+        assert not PIMOpcode.WR_INP.is_compute
+
+    def test_control_classification(self):
+        assert PIMOpcode.DYN_LOOP.is_control
+        assert PIMOpcode.DYN_MODI.is_control
+        assert not PIMOpcode.MAC.is_control
+
+
+class TestInstruction:
+    def test_target_channels_from_mask(self):
+        instruction = PIMInstruction(opcode=PIMOpcode.MAC, ch_mask=0b1010)
+        assert instruction.target_channels == [1, 3]
+
+    def test_full_mask_targets_all_sixteen(self):
+        instruction = PIMInstruction(opcode=PIMOpcode.WR_INP, ch_mask=0xFFFF)
+        assert len(instruction.target_channels) == 16
+
+    def test_encoded_bytes_constant(self):
+        instruction = PIMInstruction(opcode=PIMOpcode.MAC, op_size=1000)
+        assert instruction.encoded_bytes == INSTRUCTION_BYTES
+
+    def test_invalid_op_size_rejected(self):
+        with pytest.raises(ValueError):
+            PIMInstruction(opcode=PIMOpcode.MAC, op_size=0)
+
+
+class TestCommand:
+    def test_convenience_constructors(self):
+        wr = write_input(0, 5)
+        mc = mac(1, 5, 2, row=7, col=3)
+        rd = read_output(2, 2)
+        assert wr.opcode is PIMOpcode.WR_INP and wr.gbuf_idx == 5
+        assert mc.row == 7 and mc.out_idx == 2
+        assert rd.opcode is PIMOpcode.RD_OUT
+
+    def test_control_opcodes_cannot_be_channel_commands(self):
+        with pytest.raises(ValueError):
+            PIMCommand(cmd_id=0, opcode=PIMOpcode.DYN_LOOP)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            PIMCommand(cmd_id=-1, opcode=PIMOpcode.MAC)

@@ -1,0 +1,187 @@
+"""Tests for phase-level kernel programs and the closed-form estimators."""
+
+import pytest
+
+from repro.compiler.lowering import lower_gemv_to_commands
+from repro.core.dcs import DCSScheduler
+from repro.pim.config import PIMChannelConfig
+from repro.pim.isa import PIMOpcode
+from repro.pim.kernels import (
+    BufferCaps,
+    EMPTY_PROGRAM,
+    build_fc_gemv_program,
+    build_qkt_program,
+    build_sv_program,
+    caps_for_policy,
+    estimate_cycles,
+    fc_gemv_cycles,
+    qkt_cycles,
+    sv_cycles,
+)
+from repro.pim.scheduling import StaticScheduler
+
+
+class TestCaps:
+    def test_static_caps_use_small_outregs(self, channel):
+        caps = caps_for_policy(channel, "static")
+        assert caps.obuf_entries == channel.outreg_entries
+
+    def test_dcs_caps_use_expanded_obuf(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        assert caps.obuf_entries == channel.obuf_entries
+
+    def test_pingpong_caps_halved(self, channel):
+        caps = caps_for_policy(channel, "pingpong")
+        assert caps.gbuf_entries == channel.gbuf_entries // 2
+
+    def test_unknown_policy_rejected(self, channel):
+        with pytest.raises(ValueError):
+            caps_for_policy(channel, "oracle")
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ValueError):
+            BufferCaps(gbuf_entries=0, obuf_entries=1)
+
+
+class TestProgramBuilders:
+    def test_fc_command_counts_resident_inputs(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        program = build_fc_gemv_program(128, 256, channel, caps)
+        # 8 input tiles written once, 16 output groups of 8 MACs + 1 drain.
+        assert program.n_wr_inp == 8
+        assert program.n_mac == 8 * 16
+        assert program.n_rd_out == 16
+
+    def test_fc_streaming_when_inputs_exceed_gbuf(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        program = build_fc_gemv_program(4096, 128, channel, caps)
+        n_in = 4096 // 16
+        assert program.n_wr_inp == n_in
+        assert program.n_mac == n_in * (128 // channel.num_banks)
+        # Partial sums drained once per block per output group.
+        blocks = n_in // caps.gbuf_entries
+        assert program.n_rd_out == blocks * (128 // channel.num_banks)
+
+    def test_fc_vectors_scale_commands_but_not_activations(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        single = build_fc_gemv_program(256, 256, channel, caps, n_vectors=1)
+        batched = build_fc_gemv_program(256, 256, channel, caps, n_vectors=4)
+        assert batched.n_mac == 4 * single.n_mac
+        assert batched.row_activations == single.row_activations
+
+    def test_qkt_counts(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        program = build_qkt_program(1024, 128, channel, caps)
+        groups = 1024 // channel.num_banks
+        assert program.n_mac == 8 * groups
+        assert program.n_rd_out == groups
+        assert program.n_wr_inp == 8
+
+    def test_qkt_gqa_row_reuse_shares_activations(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        reuse = build_qkt_program(4096, 128, channel, caps, group_size=4, row_reuse=True)
+        no_reuse = build_qkt_program(4096, 128, channel, caps, group_size=4, row_reuse=False)
+        assert no_reuse.row_activations == 4 * reuse.row_activations
+        # Row reuse swaps inputs more often (the paper's DT-GBuf increase).
+        assert reuse.n_wr_inp > build_qkt_program(
+            4096, 128, channel, caps, group_size=4, row_reuse=False
+        ).n_wr_inp / 4
+
+    def test_sv_streams_scores(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        program = build_sv_program(8192, 128, channel, caps)
+        n_in = 8192 // 16
+        assert program.n_wr_inp == n_in
+        assert program.n_mac == n_in * (128 // channel.num_banks)
+
+    def test_empty_programs(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        assert build_qkt_program(0, 128, channel, caps).is_empty
+        assert build_fc_gemv_program(0, 128, channel, caps) is EMPTY_PROGRAM
+
+    def test_program_counts_by_opcode(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        program = build_fc_gemv_program(128, 128, channel, caps)
+        assert program.count(PIMOpcode.WR_INP) == program.n_wr_inp
+        assert program.n_io_tiles == program.n_wr_inp + program.n_rd_out
+
+
+class TestEstimator:
+    def test_policy_ordering_on_attention(self, channel, timing):
+        for tokens in (2048, 8192):
+            static = qkt_cycles(tokens, 128, channel, timing, "static")
+            pingpong = qkt_cycles(tokens, 128, channel, timing, "pingpong")
+            dcs = qkt_cycles(tokens, 128, channel, timing, "dcs")
+            assert dcs.total <= pingpong.total <= static.total
+
+    def test_dcs_speedup_larger_for_attention_than_fc(self, channel, timing):
+        attention_speedup = (
+            qkt_cycles(8192, 128, channel, timing, "static").total
+            / qkt_cycles(8192, 128, channel, timing, "dcs").total
+        )
+        fc_speedup = (
+            fc_gemv_cycles(4096, 4096, channel, timing, "static").total
+            / fc_gemv_cycles(4096, 4096, channel, timing, "dcs").total
+        )
+        assert attention_speedup > fc_speedup
+
+    def test_static_mac_utilization_drops_at_small_dims(self, channel, timing):
+        """The Fig. 8 trend: small (attention-sized) GEMVs underutilise MACs."""
+        small = fc_gemv_cycles(128, 128, channel, timing, "static").mac_utilization
+        large = fc_gemv_cycles(4096, 4096, channel, timing, "static").mac_utilization
+        assert small < 0.3
+        assert large > 0.45
+        assert large > 1.5 * small
+
+    def test_estimates_scale_linearly_with_tokens(self, channel, timing):
+        short = sv_cycles(4096, 128, channel, timing, "dcs").total
+        long = sv_cycles(16384, 128, channel, timing, "dcs").total
+        assert long == pytest.approx(4 * short, rel=0.15)
+
+    def test_empty_program_estimates_zero(self, channel, timing):
+        breakdown = estimate_cycles(EMPTY_PROGRAM, timing, "dcs")
+        assert breakdown.total == 0.0
+
+    def test_unknown_policy_rejected(self, channel, timing):
+        program = build_qkt_program(256, 128, channel, caps_for_policy(channel, "dcs"))
+        with pytest.raises(ValueError):
+            estimate_cycles(program, timing, "magic")
+
+    def test_refresh_can_be_disabled(self, channel, timing):
+        program = build_qkt_program(1024, 128, channel, caps_for_policy(channel, "dcs"))
+        with_refresh = estimate_cycles(program, timing, "dcs")
+        without = estimate_cycles(program, timing, "dcs", include_refresh=False)
+        assert without.refresh == 0.0
+        assert without.total < with_refresh.total
+
+
+class TestEstimatorCrossValidation:
+    """The closed-form estimators must track the exact command-level schedulers."""
+
+    @pytest.mark.parametrize("in_dim,out_dim", [(128, 128), (256, 512), (1024, 256)])
+    def test_static_estimate_matches_simulation(self, channel, timing, in_dim, out_dim):
+        caps = caps_for_policy(channel, "static")
+        program = build_fc_gemv_program(in_dim, out_dim, channel, caps)
+        estimate = estimate_cycles(program, timing, "static")
+        commands = lower_gemv_to_commands(in_dim, out_dim, channel, caps)
+        exact = StaticScheduler(timing, channel).schedule(commands)
+        assert estimate.total == pytest.approx(exact.breakdown.total, rel=0.15)
+
+    @pytest.mark.parametrize("in_dim,out_dim", [(128, 128), (256, 512), (1024, 256)])
+    def test_dcs_estimate_matches_simulation(self, channel, timing, in_dim, out_dim):
+        caps = caps_for_policy(channel, "dcs")
+        program = build_fc_gemv_program(in_dim, out_dim, channel, caps)
+        estimate = estimate_cycles(program, timing, "dcs")
+        commands = lower_gemv_to_commands(in_dim, out_dim, channel, caps)
+        exact = DCSScheduler(timing, channel).schedule(commands)
+        assert estimate.total == pytest.approx(exact.breakdown.total, rel=0.2)
+
+    def test_command_counts_match_between_builder_and_lowering(self, channel):
+        caps = caps_for_policy(channel, "dcs")
+        for in_dim, out_dim in ((128, 128), (2048, 256)):
+            program = build_fc_gemv_program(in_dim, out_dim, channel, caps)
+            commands = lower_gemv_to_commands(in_dim, out_dim, channel, caps)
+            wr = sum(1 for c in commands if c.opcode is PIMOpcode.WR_INP)
+            mc = sum(1 for c in commands if c.opcode is PIMOpcode.MAC)
+            rd = sum(1 for c in commands if c.opcode is PIMOpcode.RD_OUT)
+            assert (program.n_wr_inp, program.n_mac, program.n_rd_out) == (wr, mc, rd)

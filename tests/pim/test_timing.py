@@ -1,0 +1,38 @@
+"""Tests for PIM command timing presets."""
+
+import pytest
+
+from repro.dram.timing import DRAMTiming
+from repro.pim.timing import PIMTiming, aimx_timing, illustrative_timing
+
+
+class TestPresets:
+    def test_illustrative_preset_matches_fig7_granularity(self):
+        timing = illustrative_timing()
+        assert timing.t_ccds == 2
+        assert timing.wr_inp_latency == 4
+        assert timing.mac_latency == 4
+        assert timing.rd_out_latency == 5
+
+    def test_aimx_io_much_more_expensive_than_mac(self):
+        timing = aimx_timing()
+        assert timing.wr_inp_occupancy >= 4 * timing.mac_occupancy
+        assert timing.rd_out_occupancy >= 4 * timing.mac_occupancy
+
+    def test_cycles_to_seconds_uses_clock(self):
+        timing = aimx_timing(clock_ghz=2.0)
+        assert timing.cycles_to_seconds(2e9) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_latency_must_cover_occupancy(self):
+        with pytest.raises(ValueError):
+            PIMTiming(wr_inp_occupancy=8, wr_inp_latency=4)
+
+    def test_positive_fields_required(self):
+        with pytest.raises(ValueError):
+            PIMTiming(mac_occupancy=0, mac_latency=0)
+
+    def test_custom_dram_timing_propagates(self):
+        timing = PIMTiming(dram=DRAMTiming(t_ccds=4))
+        assert timing.t_ccds == 4

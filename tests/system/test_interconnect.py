@@ -1,0 +1,26 @@
+"""Tests for the inter-module interconnect model."""
+
+import pytest
+
+from repro.system.interconnect import InterconnectConfig
+
+
+class TestInterconnect:
+    def test_single_participant_all_reduce_is_free(self):
+        link = InterconnectConfig()
+        assert link.all_reduce_seconds(1024, participants=1) == 0.0
+
+    def test_all_reduce_scales_with_bytes(self):
+        link = InterconnectConfig(bandwidth_bytes_per_s=1e9, latency_s=0.0)
+        small = link.all_reduce_seconds(1_000, participants=4)
+        large = link.all_reduce_seconds(10_000, participants=4)
+        assert large == pytest.approx(10 * small)
+
+    def test_point_to_point_includes_latency(self):
+        link = InterconnectConfig(bandwidth_bytes_per_s=1e9, latency_s=1e-6)
+        assert link.point_to_point_seconds(1_000) == pytest.approx(1e-6 + 1e-6)
+        assert link.point_to_point_seconds(0) == 0.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(bandwidth_bytes_per_s=0)

@@ -1,0 +1,100 @@
+"""Tests for per-module layer timing (attention + FC on PIM)."""
+
+import pytest
+
+from repro.core.orchestrator import PIMphonyConfig
+from repro.system.layers import module_attention_time, module_fc_time
+
+
+class TestModuleAttention:
+    def test_tcp_fully_utilises_channels(self, cent_module):
+        cycles, utilization, breakdown = module_attention_time(
+            context_lengths=[16384, 8192],
+            kv_heads_per_module=4,
+            group_size=1,
+            head_dim=128,
+            module=cent_module,
+            config=PIMphonyConfig.tcp_only(),
+        )
+        assert cycles > 0
+        assert utilization == pytest.approx(1.0)
+        assert breakdown.total > cycles  # aggregate across channels
+
+    def test_hfp_underutilises_with_few_long_tasks(self, cent_module):
+        cycles, utilization, _ = module_attention_time(
+            context_lengths=[32768],
+            kv_heads_per_module=2,
+            group_size=1,
+            head_dim=128,
+            module=cent_module,
+            config=PIMphonyConfig.baseline(),
+        )
+        assert cycles > 0
+        assert utilization <= 2 / cent_module.num_channels + 1e-6
+
+    def test_tcp_faster_than_hfp(self, cent_module):
+        contexts = [32768, 16384]
+        hfp_cycles, _, _ = module_attention_time(
+            contexts, 2, 1, 128, cent_module, PIMphonyConfig.baseline()
+        )
+        tcp_cycles, _, _ = module_attention_time(
+            contexts, 2, 1, 128, cent_module, PIMphonyConfig.tcp_only()
+        )
+        assert tcp_cycles < hfp_cycles / 4
+
+    def test_dcs_accelerates_attention(self, cent_module):
+        contexts = [32768] * 4
+        tcp_cycles, _, _ = module_attention_time(
+            contexts, 4, 1, 128, cent_module, PIMphonyConfig.tcp_only()
+        )
+        dcs_cycles, _, _ = module_attention_time(
+            contexts, 4, 1, 128, cent_module, PIMphonyConfig.tcp_dcs()
+        )
+        assert dcs_cycles < tcp_cycles
+
+    def test_empty_batch_is_free(self, cent_module):
+        cycles, utilization, _ = module_attention_time(
+            [], 4, 1, 128, cent_module, PIMphonyConfig.full()
+        )
+        assert cycles == 0.0 and utilization == 0.0
+
+    def test_cycles_scale_with_context(self, cent_module):
+        short, _, _ = module_attention_time(
+            [8192], 4, 1, 128, cent_module, PIMphonyConfig.full()
+        )
+        long, _, _ = module_attention_time(
+            [32768], 4, 1, 128, cent_module, PIMphonyConfig.full()
+        )
+        assert long == pytest.approx(4 * short, rel=0.25)
+
+
+class TestModuleFC:
+    def test_fc_time_positive_and_scales_with_batch(self, cent_module, llm_7b):
+        single, _ = module_fc_time(
+            1, llm_7b.d_model, llm_7b.kv_dim, llm_7b.ffn_dim, True, 8, cent_module,
+            PIMphonyConfig.full(),
+        )
+        batched, _ = module_fc_time(
+            8, llm_7b.d_model, llm_7b.kv_dim, llm_7b.ffn_dim, True, 8, cent_module,
+            PIMphonyConfig.full(),
+        )
+        assert single > 0
+        assert batched > single
+
+    def test_more_tensor_parallelism_shrinks_fc_time(self, cent_module, llm_7b):
+        narrow, _ = module_fc_time(
+            4, llm_7b.d_model, llm_7b.kv_dim, llm_7b.ffn_dim, True, 1, cent_module,
+            PIMphonyConfig.full(),
+        )
+        wide, _ = module_fc_time(
+            4, llm_7b.d_model, llm_7b.kv_dim, llm_7b.ffn_dim, True, 8, cent_module,
+            PIMphonyConfig.full(),
+        )
+        assert wide < narrow
+
+    def test_zero_batch_is_free(self, cent_module, llm_7b):
+        cycles, _ = module_fc_time(
+            0, llm_7b.d_model, llm_7b.kv_dim, llm_7b.ffn_dim, True, 8, cent_module,
+            PIMphonyConfig.full(),
+        )
+        assert cycles == 0.0

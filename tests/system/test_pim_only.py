@@ -1,0 +1,79 @@
+"""Tests for the PIM-only (CENT-style) system model."""
+
+import pytest
+
+from repro.core.orchestrator import PIMphonyConfig
+from repro.pim.config import cent_module_config
+from repro.system.parallelism import ParallelismPlan
+from repro.system.pim_only import PIMOnlySystem
+
+
+def make_system(model, tp=8, pp=1, config=None):
+    return PIMOnlySystem(
+        model=model,
+        num_modules=tp * pp,
+        plan=ParallelismPlan(tp, pp),
+        pimphony=config or PIMphonyConfig.full(),
+        module=cent_module_config(),
+    )
+
+
+class TestConstruction:
+    def test_plan_must_cover_modules(self, llm_7b):
+        with pytest.raises(ValueError):
+            PIMOnlySystem(
+                model=llm_7b,
+                num_modules=8,
+                plan=ParallelismPlan(2, 2),
+                module=cent_module_config(),
+            )
+
+    def test_capacity_accounts_for_weights(self, llm_7b):
+        system = make_system(llm_7b)
+        assert system.total_capacity_bytes == 8 * 16 * 1024**3
+        assert system.kv_capacity_bytes < system.total_capacity_bytes
+        assert system.kv_capacity_bytes > 0
+
+    def test_dynamic_memory_follows_dpa(self, llm_7b):
+        assert make_system(llm_7b, config=PIMphonyConfig.full()).dynamic_memory
+        assert not make_system(llm_7b, config=PIMphonyConfig.baseline()).dynamic_memory
+
+
+class TestDecodeStep:
+    def test_step_latency_positive_and_grows_with_context(self, llm_7b):
+        system = make_system(llm_7b)
+        short = system.decode_step([4096] * 4)
+        long = system.decode_step([32768] * 4)
+        assert 0 < short.seconds < long.seconds
+
+    def test_pimphony_beats_baseline(self, llm_7b):
+        contexts = [32768, 24576, 16384, 8192]
+        baseline = make_system(llm_7b, config=PIMphonyConfig.baseline()).decode_step(contexts)
+        full = make_system(llm_7b, config=PIMphonyConfig.full()).decode_step(contexts)
+        assert full.seconds < baseline.seconds
+        assert full.pim_utilization > baseline.pim_utilization
+
+    def test_incremental_features_never_hurt(self, llm_7b):
+        contexts = [32768] * 4
+        times = [
+            make_system(llm_7b, config=config).decode_step(contexts).seconds
+            for config in PIMphonyConfig.incremental_sweep()
+        ]
+        assert times[0] >= times[1] >= times[2] >= times[3] * 0.999
+
+    def test_pipeline_bubbles_with_insufficient_microbatches(self, llm_7b):
+        """With one request on a PP=4 system, three stages idle each step."""
+        pp_system = make_system(llm_7b, tp=2, pp=4)
+        tp_system = make_system(llm_7b, tp=8, pp=1)
+        pp_step = pp_system.decode_step([16384])
+        tp_step = tp_system.decode_step([16384])
+        assert pp_step.pim_utilization < tp_step.pim_utilization
+
+    def test_empty_batch(self, llm_7b):
+        step = make_system(llm_7b).decode_step([])
+        assert step.seconds == 0.0
+
+    def test_breakdowns_populated_for_energy(self, llm_7b):
+        step = make_system(llm_7b).decode_step([16384] * 2)
+        assert step.attention_breakdown.total > 0
+        assert step.fc_breakdown.total > 0

@@ -1,0 +1,70 @@
+"""Tests for the pipeline-parallel decode-step timing model."""
+
+import pytest
+
+from repro.pim.simulator import ZERO_BREAKDOWN
+from repro.system.pipeline import StageCost, pipeline_decode_step, split_microbatches
+
+
+def linear_stage_cost(microbatch):
+    """Stage time proportional to the micro-batch's total tokens."""
+    seconds = 1e-6 * sum(microbatch)
+    return StageCost(seconds=seconds, pim_utilization=0.5)
+
+
+class TestSplitMicrobatches:
+    def test_token_balanced_split(self):
+        buckets = split_microbatches([100, 90, 10, 5], 2)
+        totals = sorted(sum(bucket) for bucket in buckets)
+        assert totals == [100, 105]
+
+    def test_count_clamped_to_batch(self):
+        buckets = split_microbatches([10, 20], 8)
+        assert len(buckets) == 2
+
+    def test_all_tokens_preserved(self):
+        contexts = [7, 13, 19, 23, 29]
+        buckets = split_microbatches(contexts, 3)
+        assert sum(sum(bucket) for bucket in buckets) == sum(contexts)
+
+
+class TestPipelineStep:
+    def test_single_stage_sums_all_work(self):
+        step = pipeline_decode_step([100, 200, 300], stages=1, stage_cost=linear_stage_cost)
+        assert step.seconds == pytest.approx(600e-6)
+
+    def test_deep_pipeline_with_single_request_pays_full_depth(self):
+        """With one micro-batch a PP=4 pipeline is mostly bubbles."""
+        step = pipeline_decode_step([100], stages=4, stage_cost=linear_stage_cost)
+        assert step.seconds == pytest.approx(4 * 100e-6)
+        assert step.pim_utilization < 0.2
+
+    def test_full_pipeline_bounded_by_total_work(self):
+        """With at least as many requests as stages the step time equals the
+        bottleneck stage's total work, not stages x slowest micro-batch."""
+        contexts = [100] * 8
+        step = pipeline_decode_step(contexts, stages=4, stage_cost=linear_stage_cost)
+        assert step.seconds == pytest.approx(800e-6)
+
+    def test_adding_requests_never_lowers_tokens_per_second(self):
+        small = pipeline_decode_step([100] * 4, stages=4, stage_cost=linear_stage_cost)
+        large = pipeline_decode_step([100] * 6, stages=4, stage_cost=linear_stage_cost)
+        assert 6 / large.seconds >= 4 / small.seconds * 0.999
+
+    def test_empty_batch(self):
+        step = pipeline_decode_step([], stages=4, stage_cost=linear_stage_cost)
+        assert step.seconds == 0.0
+        assert step.num_microbatches == 0
+        assert step.attention_breakdown == ZERO_BREAKDOWN
+
+    def test_invalid_stage_count_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_decode_step([10], stages=0, stage_cost=linear_stage_cost)
+
+    def test_utilization_weighted_by_busy_time(self):
+        def cost(microbatch):
+            return StageCost(seconds=1e-3, pim_utilization=1.0)
+
+        step = pipeline_decode_step([1, 1], stages=2, stage_cost=cost)
+        # Two micro-batches, two stages: pipeline fully busy.
+        assert step.pim_utilization == pytest.approx(1.0)

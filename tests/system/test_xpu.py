@@ -1,0 +1,43 @@
+"""Tests for the xPU roofline model."""
+
+import pytest
+
+from repro.system.xpu import XPUConfig, fc_layer_seconds
+
+
+class TestXPU:
+    def test_roofline_picks_slower_bound(self):
+        xpu = XPUConfig(peak_tflops=100, compute_efficiency=1.0, memory_bandwidth_bytes=1e12)
+        # Tiny compute, large weights: memory bound.
+        assert xpu.gemm_seconds(flops=1e6, weight_bytes=1e9) == pytest.approx(1e-3)
+        # Huge compute, small weights: compute bound.
+        assert xpu.gemm_seconds(flops=1e14, weight_bytes=1e3) == pytest.approx(1.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            XPUConfig(peak_tflops=0)
+        with pytest.raises(ValueError):
+            XPUConfig(compute_efficiency=0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            XPUConfig().gemm_seconds(-1, 0)
+
+
+class TestFCLayer:
+    def test_decode_fc_is_memory_bound(self, llm_7b):
+        """At decode batch sizes the FC layers stream weights (low intensity)."""
+        xpu = XPUConfig()
+        one = fc_layer_seconds(xpu, 1, llm_7b.d_model, llm_7b.kv_dim, llm_7b.ffn_dim, True, 1)
+        few = fc_layer_seconds(xpu, 8, llm_7b.d_model, llm_7b.kv_dim, llm_7b.ffn_dim, True, 1)
+        assert one == pytest.approx(few, rel=0.2)
+
+    def test_tensor_parallelism_divides_time(self, llm_7b):
+        xpu = XPUConfig()
+        full = fc_layer_seconds(xpu, 4, llm_7b.d_model, llm_7b.kv_dim, llm_7b.ffn_dim, True, 1)
+        sharded = fc_layer_seconds(xpu, 4, llm_7b.d_model, llm_7b.kv_dim, llm_7b.ffn_dim, True, 4)
+        assert sharded < full
+        assert sharded == pytest.approx(full / 4, rel=0.3)
+
+    def test_zero_batch_free(self, llm_7b):
+        assert fc_layer_seconds(XPUConfig(), 0, 4096, 4096, 12288, True, 1) == 0.0

@@ -1,0 +1,66 @@
+"""Tests for the heterogeneous xPU+PIM (NeuPIMs-style) system model."""
+
+import pytest
+
+from repro.core.orchestrator import PIMphonyConfig
+from repro.pim.config import neupims_module_config
+from repro.system.parallelism import ParallelismPlan
+from repro.system.xpu_pim import XPUPIMSystem
+
+
+def make_system(model, tp=4, pp=1, config=None):
+    return XPUPIMSystem(
+        model=model,
+        num_modules=tp * pp,
+        plan=ParallelismPlan(tp, pp),
+        pimphony=config or PIMphonyConfig.full(),
+        module=neupims_module_config(),
+    )
+
+
+class TestXPUPIMSystem:
+    def test_step_latency_grows_with_context_at_batch(self, llm_7b):
+        # With a single request the xPU FC stream dominates and the step time
+        # is context-insensitive; with a realistic batch the PIM-side
+        # attention grows with context and becomes the critical path.
+        system = make_system(llm_7b)
+        short = system.decode_step([4096] * 8)
+        long = system.decode_step([65536] * 8)
+        assert short.seconds < long.seconds
+
+    def test_pimphony_beats_baseline_at_long_context(self, llm_7b):
+        contexts = [32768] * 4
+        baseline = make_system(llm_7b, config=PIMphonyConfig.baseline()).decode_step(contexts)
+        full = make_system(llm_7b, config=PIMphonyConfig.full()).decode_step(contexts)
+        assert full.seconds < baseline.seconds
+
+    def test_short_context_is_fc_bound_so_gains_shrink(self, llm_7b):
+        """With tiny contexts the xPU FC time dominates and PIM scheduling
+        barely matters -- the paper's observation that xPU+PIM gains appear
+        at long context."""
+        short = [256] * 4
+        long = [65536] * 4
+        baseline = make_system(llm_7b, config=PIMphonyConfig.baseline())
+        full = make_system(llm_7b, config=PIMphonyConfig.full())
+        short_gain = baseline.decode_step(short).seconds / full.decode_step(short).seconds
+        long_gain = baseline.decode_step(long).seconds / full.decode_step(long).seconds
+        assert long_gain > short_gain
+
+    def test_fc_runs_on_xpu_not_pim(self, llm_7b):
+        step = make_system(llm_7b).decode_step([16384] * 2)
+        assert step.fc_breakdown.total == 0.0
+        assert step.attention_breakdown.total > 0.0
+
+    def test_capacity_and_channels(self, llm_7b):
+        system = make_system(llm_7b)
+        assert system.total_capacity_bytes == 4 * 32 * 1024**3
+        assert system.total_pim_channels == 4 * 32
+
+    def test_plan_mismatch_rejected(self, llm_7b):
+        with pytest.raises(ValueError):
+            XPUPIMSystem(
+                model=llm_7b,
+                num_modules=4,
+                plan=ParallelismPlan(2, 1),
+                module=neupims_module_config(),
+            )

@@ -1,0 +1,65 @@
+"""Tests for the dataset statistics models (paper Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import DatasetStats, get_dataset, list_datasets, synthetic_dataset
+
+
+class TestRegistry:
+    def test_table2_datasets_present(self):
+        names = list_datasets()
+        for expected in ("qmsum", "musique", "multifieldqa", "loogle-sd"):
+            assert expected in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_dataset("QMSum").name == "qmsum"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("wikitext")
+
+    def test_table2_statistics_match_paper(self):
+        qmsum = get_dataset("qmsum")
+        assert qmsum.mean == 13_966
+        assert qmsum.maximum == 30_456
+        multifield = get_dataset("multifieldqa")
+        assert multifield.suite == "LV-Eval"
+        assert multifield.mean == 60_780
+
+
+class TestSampling:
+    def test_samples_respect_bounds(self):
+        stats = get_dataset("qmsum")
+        samples = stats.sample(2000, np.random.default_rng(0))
+        assert samples.min() >= stats.minimum
+        assert samples.max() <= stats.maximum
+
+    def test_sample_mean_near_dataset_mean(self):
+        stats = get_dataset("musique")
+        samples = stats.sample(5000, np.random.default_rng(1))
+        assert abs(samples.mean() - stats.mean) / stats.mean < 0.1
+
+    def test_zero_samples(self):
+        stats = get_dataset("qmsum")
+        assert stats.sample(0, np.random.default_rng(0)).size == 0
+
+    def test_clamp_to_window_restricts_maximum(self):
+        stats = get_dataset("multifieldqa")
+        clamped = stats.clamp_to_window(32 * 1024)
+        assert clamped.maximum == 32 * 1024
+        assert clamped.mean <= 32 * 1024
+        samples = clamped.sample(100, np.random.default_rng(2))
+        assert samples.max() <= 32 * 1024
+
+
+class TestValidation:
+    def test_synthetic_dataset_builder(self):
+        stats = synthetic_dataset("uniform-64k", mean=64_000, std=100, minimum=63_000, maximum=65_000)
+        assert stats.suite == "synthetic"
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetStats(name="bad", suite="x", mean=10, std=1, minimum=20, maximum=10)
+        with pytest.raises(ValueError):
+            DatasetStats(name="bad", suite="x", mean=-1, std=1, minimum=1, maximum=10)

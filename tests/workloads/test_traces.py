@@ -1,0 +1,51 @@
+"""Tests for request trace generation."""
+
+import pytest
+
+from repro.workloads.datasets import get_dataset
+from repro.workloads.traces import Request, generate_trace
+
+
+class TestTraceGeneration:
+    def test_trace_is_reproducible(self):
+        stats = get_dataset("qmsum")
+        a = generate_trace(stats, 32, seed=7)
+        b = generate_trace(stats, 32, seed=7)
+        assert a.prompt_lengths == b.prompt_lengths
+
+    def test_different_seeds_differ(self):
+        stats = get_dataset("qmsum")
+        a = generate_trace(stats, 32, seed=1)
+        b = generate_trace(stats, 32, seed=2)
+        assert a.prompt_lengths != b.prompt_lengths
+
+    def test_context_window_clamping(self):
+        stats = get_dataset("multifieldqa")
+        trace = generate_trace(stats, 64, seed=0, context_window=32 * 1024)
+        assert trace.max_prompt_tokens <= 32 * 1024
+
+    def test_output_tokens_override(self):
+        stats = get_dataset("qmsum")
+        trace = generate_trace(stats, 4, seed=0, output_tokens=77)
+        assert all(request.output_tokens == 77 for request in trace.requests)
+        assert trace.total_output_tokens == 4 * 77
+
+    def test_request_ids_unique_and_ordered(self):
+        trace = generate_trace(get_dataset("qmsum"), 10, seed=0)
+        assert [request.request_id for request in trace.requests] == list(range(10))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(get_dataset("qmsum"), 0)
+        with pytest.raises(ValueError):
+            Request(request_id=0, prompt_tokens=0, output_tokens=1)
+
+
+class TestTraceProperties:
+    def test_mean_and_final_context(self):
+        trace = generate_trace(get_dataset("musique"), 16, seed=0, output_tokens=10)
+        assert trace.mean_prompt_tokens == pytest.approx(
+            sum(trace.prompt_lengths) / len(trace)
+        )
+        request = trace.requests[0]
+        assert request.final_context == request.prompt_tokens + 10
