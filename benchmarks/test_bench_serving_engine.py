@@ -1,0 +1,97 @@
+"""Serving-engine benchmark: latency cache effectiveness and lifecycle metrics.
+
+Not a paper figure: regression coverage for the event-driven engine added on
+top of the reproduction.  Asserts the *robust* cache properties (hit rate and
+throughput fidelity) and reports the measured wall-clock speedup, which the
+``examples/serving_engine_demo.py`` sweep pins at >=5x on a full 1k-request
+run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import serving_summary_table
+from repro.baselines.cent import cent_system_config
+from repro.core.orchestrator import PIMphonyConfig
+from repro.models.llm import get_model
+from repro.serving import StepLatencyCache, serve
+from repro.workloads.datasets import get_dataset
+from repro.workloads.traces import generate_trace, poisson_arrivals
+
+from _helpers import emit, run_once
+
+
+def _sweep(benchmark=None):
+    model = get_model("LLM-7B-32K")
+    system = cent_system_config(model, pimphony=PIMphonyConfig.full())
+    trace = generate_trace(
+        get_dataset("qmsum"),
+        num_requests=200,
+        seed=1,
+        context_window=model.context_window,
+        output_tokens=64,
+    )
+
+    start = time.perf_counter()
+    uncached = serve(system, trace, step_stride=1)
+    uncached_wall = time.perf_counter() - start
+
+    cache = StepLatencyCache(bucket_tokens=512)
+    start = time.perf_counter()
+    cached = serve(system, trace, step_stride=1, latency_cache=cache)
+    cached_wall = time.perf_counter() - start
+    return uncached, cached, cache, uncached_wall, cached_wall
+
+
+def test_bench_latency_cache_sweep(benchmark):
+    uncached, cached, cache, uncached_wall, cached_wall = run_once(benchmark, _sweep)
+
+    error = abs(cached.throughput_tokens_per_s / uncached.throughput_tokens_per_s - 1.0)
+    speedup = uncached_wall / max(cached_wall, 1e-9)
+    emit(
+        "serving engine latency cache (200-request sweep)",
+        f"uncached {uncached_wall:.2f}s, cached {cached_wall:.2f}s "
+        f"(speedup {speedup:.1f}x), hit rate {cache.hit_rate:.1%}, "
+        f"throughput error {error:.3%}",
+    )
+    # Timing on shared CI runners is noisy, so assert the robust properties
+    # that produce the speedup rather than the wall-clock ratio itself.
+    assert cache.hit_rate > 0.8
+    assert error < 0.01
+    assert cached.total_output_tokens == uncached.total_output_tokens
+
+
+def test_bench_admission_policies_open_loop(benchmark):
+    model = get_model("LLM-7B-32K")
+    system = cent_system_config(model, pimphony=PIMphonyConfig.full())
+    trace = poisson_arrivals(
+        generate_trace(
+            get_dataset("qmsum"),
+            num_requests=48,
+            seed=0,
+            context_window=model.context_window,
+            output_tokens=32,
+        ),
+        rate_rps=40.0,
+        seed=0,
+    )
+
+    def evaluate():
+        from repro.serving import CapacityAwareAdmission, FCFSAdmission
+
+        return [
+            serve(system, trace, admission=policy, step_stride=8, system_name="CENT+PIMphony")
+            for policy in (FCFSAdmission(), CapacityAwareAdmission())
+        ]
+
+    results = run_once(benchmark, evaluate)
+    emit(
+        "admission policies under Poisson arrivals",
+        serving_summary_table(results),
+    )
+    fcfs, packed = results
+    assert fcfs.total_output_tokens == packed.total_output_tokens
+    for result in results:
+        assert result.latency.ttft_mean_s > 0
+        assert result.latency.latency_p50_s <= result.latency.latency_p99_s

@@ -1,0 +1,125 @@
+"""Event-driven serving engine demo: arrivals, admission policies, cache.
+
+Three things the engine adds over the legacy ``simulate_serving`` loop:
+
+1. **Open-loop arrivals** -- requests arrive through a Poisson process and
+   the engine reports TTFT / TPOT and end-to-end latency percentiles per
+   admission policy (FCFS, capacity-aware, priority).
+2. **Pluggable admission** -- the same trace served under different
+   policies shows the packing/fairness trade-off.
+3. **Bucketed latency cache** -- a 1k-request sweep evaluated per-step
+   versus through the bucketed decode-step cache, demonstrating the >=5x
+   wall-clock speedup with sub-percent throughput error.
+
+Run with:  python examples/serving_engine_demo.py
+"""
+
+import time
+from dataclasses import replace
+
+from repro.analysis.reporting import format_table, serving_summary_table
+from repro.baselines.cent import cent_system_config
+from repro.core.orchestrator import PIMphonyConfig
+from repro.models.llm import get_model
+from repro.serving import (
+    CapacityAwareAdmission,
+    FCFSAdmission,
+    PriorityAdmission,
+    StepLatencyCache,
+    serve,
+)
+from repro.workloads.datasets import get_dataset
+from repro.workloads.traces import RequestTrace, generate_trace, poisson_arrivals
+
+
+def admission_policy_comparison(model, system) -> None:
+    trace = generate_trace(
+        get_dataset("qmsum"),
+        num_requests=64,
+        seed=0,
+        context_window=model.context_window,
+        output_tokens=32,
+    )
+    # Mark every fourth request as urgent so the priority row actually
+    # exercises priority scheduling (generated traces default to 0).
+    trace = RequestTrace(
+        dataset=trace.dataset,
+        requests=tuple(
+            replace(request, priority=5) if index % 4 == 0 else request
+            for index, request in enumerate(trace.requests)
+        ),
+    )
+    open_loop = poisson_arrivals(trace, rate_rps=40.0, seed=0)
+    results = [
+        serve(system, open_loop, admission=policy, step_stride=8,
+              system_name="CENT+PIMphony")
+        for policy in (FCFSAdmission(), CapacityAwareAdmission(), PriorityAdmission())
+    ]
+    print()
+    print(
+        serving_summary_table(
+            results,
+            title="LLM-7B-32K on QMSum, Poisson arrivals at 40 req/s, 64 requests",
+        )
+    )
+
+
+def latency_cache_sweep(model, system) -> None:
+    trace = generate_trace(
+        get_dataset("qmsum"),
+        num_requests=1000,
+        seed=1,
+        context_window=model.context_window,
+        output_tokens=64,
+    )
+
+    start = time.perf_counter()
+    uncached = serve(system, trace, step_stride=1)
+    uncached_wall = time.perf_counter() - start
+
+    cache = StepLatencyCache(bucket_tokens=512)
+    start = time.perf_counter()
+    cached = serve(system, trace, step_stride=1, latency_cache=cache)
+    cached_wall = time.perf_counter() - start
+
+    speedup = uncached_wall / cached_wall
+    error = abs(
+        cached.throughput_tokens_per_s / uncached.throughput_tokens_per_s - 1.0
+    )
+    print()
+    print(
+        format_table(
+            ["mode", "wall s", "tokens/s", "p99 ms"],
+            [
+                ["per-step", uncached_wall, uncached.throughput_tokens_per_s,
+                 uncached.latency_p99_s * 1e3],
+                ["bucketed cache", cached_wall, cached.throughput_tokens_per_s,
+                 cached.latency_p99_s * 1e3],
+            ],
+            title="1k-request sweep: per-step evaluation vs bucketed latency cache",
+        )
+    )
+    print(
+        f"\ncache: {cache.hits} hits / {cache.misses} misses "
+        f"({cache.hit_rate:.1%} hit rate), "
+        f"wall-clock speedup {speedup:.1f}x, throughput error {error:.3%}"
+    )
+    if speedup < 5.0:
+        # Wall-clock ratios depend on host load; the robust cache properties
+        # (hit rate, throughput fidelity) are asserted in the benchmark suite.
+        print(
+            f"note: measured speedup {speedup:.1f}x is below the typical >=5x "
+            "(host under load?)"
+        )
+
+
+def main() -> None:
+    model = get_model("LLM-7B-32K")
+    system = cent_system_config(model, pimphony=PIMphonyConfig.full())
+    print(f"Serving {model.name} on a CENT-class PIM system with PIMphony")
+    admission_policy_comparison(model, system)
+    latency_cache_sweep(model, system)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,9 @@ System* (HPCA 2026).  It provides:
   ``PIMphony`` orchestrator facade.
 * ``repro.system`` -- multi-node PIM-only and xPU+PIM system models with a
   decode serving loop.
+* ``repro.serving`` -- the event-driven serving engine: pluggable admission
+  policies, timestamped arrivals, per-request TTFT/TPOT/percentile metrics
+  and a bucketed decode-step latency cache.
 * ``repro.baselines`` -- CENT-like, NeuPIMs-like, ping-pong buffering and
   GPU (A100 + FlashDecoding + PagedAttention) baselines.
 * ``repro.workloads`` -- LongBench / LV-Eval statistical trace generators.
@@ -25,10 +28,20 @@ System* (HPCA 2026).  It provides:
 
 from repro.core.orchestrator import PIMphony, PIMphonyConfig
 from repro.models.llm import LLMConfig, get_model, list_models
+from repro.serving import (
+    CapacityAwareAdmission,
+    EngineResult,
+    FCFSAdmission,
+    PriorityAdmission,
+    ServingEngine,
+    StepLatencyCache,
+    serve,
+)
 from repro.system.serving import ServingResult, simulate_serving
 from repro.workloads.datasets import get_dataset, list_datasets
+from repro.workloads.traces import generate_trace, poisson_arrivals, replay_arrivals
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PIMphony",
@@ -36,9 +49,19 @@ __all__ = [
     "LLMConfig",
     "get_model",
     "list_models",
+    "ServingEngine",
+    "EngineResult",
     "ServingResult",
+    "serve",
     "simulate_serving",
+    "FCFSAdmission",
+    "CapacityAwareAdmission",
+    "PriorityAdmission",
+    "StepLatencyCache",
     "get_dataset",
     "list_datasets",
+    "generate_trace",
+    "poisson_arrivals",
+    "replay_arrivals",
     "__version__",
 ]

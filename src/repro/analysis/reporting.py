@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.serving.engine import EngineResult
 
 
 def format_table(
@@ -54,4 +58,40 @@ def speedup_table(
         speedup = new_value / base_value if base_value else 0.0
         rows.append([key, base_value, new_value, speedup])
     headers = ["workload", f"baseline {metric}", f"pimphony {metric}", "speedup"]
+    return format_table(headers, rows, title=title)
+
+
+def serving_summary_table(results: Sequence["EngineResult"], title: str = "") -> str:
+    """Render throughput plus lifecycle latency metrics of serving runs.
+
+    One row per :class:`~repro.serving.engine.EngineResult`, combining the
+    legacy throughput/batch counters with the engine's TTFT / TPOT and
+    end-to-end latency percentiles (milliseconds).
+    """
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.system_name,
+                result.admission_policy,
+                result.throughput_tokens_per_s,
+                result.average_batch_size,
+                result.latency.ttft_mean_s * 1e3,
+                result.latency.tpot_mean_s * 1e3,
+                result.latency.latency_p50_s * 1e3,
+                result.latency.latency_p95_s * 1e3,
+                result.latency.latency_p99_s * 1e3,
+            ]
+        )
+    headers = [
+        "system",
+        "admission",
+        "tokens/s",
+        "avg batch",
+        "TTFT ms",
+        "TPOT ms",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+    ]
     return format_table(headers, rows, title=title)

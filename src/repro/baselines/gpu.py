@@ -15,8 +15,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.models.llm import LLMConfig
+from repro.serving.interfaces import StepResult
 from repro.system.interconnect import InterconnectConfig
-from repro.system.serving import StepResult
 
 
 @dataclass(frozen=True)

@@ -48,12 +48,24 @@ class DPAController:
 
     # -- request lifecycle -------------------------------------------------
 
-    def can_admit(self, initial_tokens: int) -> bool:
-        return self.allocator.can_admit(initial_tokens)
+    def can_admit(self, tokens: int) -> bool:
+        """Whether a request whose context grows to ``tokens`` fits now.
+
+        Pair with :meth:`reserve` of the same ``tokens`` for a
+        no-mid-decode-failure guarantee; pairing with :meth:`admit` (which
+        commits only the prefix) keeps lazy, may-fail-while-growing
+        semantics.
+        """
+        return self.allocator.can_admit(tokens)
 
     def admit(self, request_id: int, initial_tokens: int) -> None:
         """Admit a request: allocate its prefix chunks and register metadata."""
         self.allocator.admit(request_id, initial_tokens)
+        self.token_lengths[request_id] = initial_tokens
+
+    def reserve(self, request_id: int, initial_tokens: int, final_tokens: int) -> None:
+        """Admit a request, committing chunks for its final context up front."""
+        self.allocator.reserve(request_id, initial_tokens, final_tokens)
         self.token_lengths[request_id] = initial_tokens
 
     def step(self, request_id: int, new_tokens: int = 1) -> None:

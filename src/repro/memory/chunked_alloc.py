@@ -34,6 +34,8 @@ class ChunkedAllocator:
     _table: VA2PATable = field(init=False, repr=False)
     _free_chunks: list[int] = field(init=False, repr=False)
     _tokens: dict[int, int] = field(default_factory=dict, repr=False)
+    _committed: dict[int, int] = field(default_factory=dict, repr=False)
+    _committed_total: int = field(default=0, repr=False)
     host_interventions: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -73,30 +75,71 @@ class ChunkedAllocator:
             return 0
         return -(-(tokens * self.bytes_per_token) // self.chunk_bytes)
 
-    def can_admit(self, initial_tokens: int) -> bool:
-        """Whether a request with the given context currently fits."""
-        return self.chunks_needed(initial_tokens) <= self.free_chunk_count
+    @property
+    def committed_chunk_count(self) -> int:
+        """Chunks promised to live requests (mapped now or reserved for growth)."""
+        return self._committed_total
+
+    @property
+    def uncommitted_chunk_count(self) -> int:
+        """Chunks available for new reservations."""
+        return self.total_chunks - self.committed_chunk_count
+
+    def can_admit(self, final_tokens: int) -> bool:
+        """Whether a request growing to ``final_tokens`` of context fits.
+
+        Admission is checked against the *uncommitted* capacity.  Paired
+        with :meth:`reserve` of the same ``final_tokens``, an admitted
+        request never runs out of chunks mid-decode: every live
+        reservation's final context is already accounted for.  (Pairing it
+        with :meth:`admit`, which commits only the prefix, keeps the legacy
+        may-fail-while-growing behaviour.)
+        """
+        return self.chunks_needed(final_tokens) <= self.uncommitted_chunk_count
 
     # -- allocation lifecycle ----------------------------------------------
 
+    def reserve(self, request_id: int, initial_tokens: int, final_tokens: int) -> None:
+        """Admit a request, mapping its prefix and committing its final size.
+
+        Chunks for ``initial_tokens`` are mapped immediately; the remainder
+        up to ``final_tokens`` is only committed, and materialises lazily as
+        :meth:`append_token` grows the request.
+
+        Raises:
+            AllocationError: if the committed final context does not fit.
+        """
+        if request_id in self._tokens:
+            raise ValueError(f"request {request_id} already admitted")
+        if final_tokens < initial_tokens:
+            raise ValueError("final_tokens must be >= initial_tokens")
+        committed = self.chunks_needed(final_tokens)
+        if committed > self.uncommitted_chunk_count:
+            raise AllocationError("insufficient free chunks to admit request")
+        for virtual_chunk in range(self.chunks_needed(initial_tokens)):
+            self._table.map(request_id, virtual_chunk, self._free_chunks.pop())
+        self._tokens[request_id] = initial_tokens
+        self._committed[request_id] = committed
+        self._committed_total += committed
+        self.host_interventions += 1
+
     def admit(self, request_id: int, initial_tokens: int) -> None:
-        """Admit a request and lazily allocate chunks for its prefix.
+        """Admit a request committing only its current prefix.
+
+        The commitment then grows with :meth:`append_token`, which may fail
+        mid-decode when the allocator fills up; callers that know a request's
+        final context should use :meth:`reserve` instead.
 
         Raises:
             AllocationError: if the request's current KV cache does not fit.
         """
-        if request_id in self._tokens:
-            raise ValueError(f"request {request_id} already admitted")
-        needed = self.chunks_needed(initial_tokens)
-        if needed > self.free_chunk_count:
-            raise AllocationError("insufficient free chunks to admit request")
-        for virtual_chunk in range(needed):
-            self._table.map(request_id, virtual_chunk, self._free_chunks.pop())
-        self._tokens[request_id] = initial_tokens
-        self.host_interventions += 1
+        self.reserve(request_id, initial_tokens, initial_tokens)
 
     def append_token(self, request_id: int, count: int = 1) -> None:
         """Grow a request's KV cache, allocating a new chunk when needed.
+
+        Growth within the request's reservation always succeeds; growth past
+        it must claim uncommitted chunks.
 
         Raises:
             AllocationError: if a new chunk is required but none is free.
@@ -106,22 +149,26 @@ class ChunkedAllocator:
         current = self._tokens[request_id]
         have = self.chunks_needed(current)
         need = self.chunks_needed(current + count)
-        extra = need - have
-        if extra > self.free_chunk_count:
-            raise AllocationError("out of chunks while growing the KV cache")
+        committed = self._committed[request_id]
+        if need > committed:
+            if need - committed > self.uncommitted_chunk_count:
+                raise AllocationError("out of chunks while growing the KV cache")
+            self._committed[request_id] = need
+            self._committed_total += need - committed
         for virtual_chunk in range(have, need):
             self._table.map(request_id, virtual_chunk, self._free_chunks.pop())
-        if extra > 0:
+        if need > have:
             self.host_interventions += 1
         self._tokens[request_id] = current + count
 
     def release(self, request_id: int) -> None:
-        """Free every chunk owned by a request."""
+        """Free every chunk owned by or committed to a request."""
         if request_id not in self._tokens:
             return
         freed = self._table.release(request_id)
         self._free_chunks.extend(freed)
         del self._tokens[request_id]
+        self._committed_total -= self._committed.pop(request_id)
         self.host_interventions += 1
 
     # -- metrics ------------------------------------------------------------

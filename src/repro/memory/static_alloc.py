@@ -55,8 +55,17 @@ class StaticAllocator:
     def num_requests(self) -> int:
         return len(self._reservations)
 
-    def can_admit(self) -> bool:
-        """Whether one more request's worst-case reservation fits."""
+    def can_admit(self, final_tokens: int | None = None) -> bool:
+        """Whether one more request's worst-case reservation fits.
+
+        Args:
+            final_tokens: Optional final context length of the candidate
+                request.  Static reservations are always ``T_max`` so the
+                value only rules out requests longer than the maximum; it is
+                accepted for signature parity with :class:`ChunkedAllocator`.
+        """
+        if final_tokens is not None and final_tokens > self.max_context_tokens:
+            return False
         return self.free_bytes >= self.reservation_bytes
 
     def admit(self, request_id: int, initial_tokens: int) -> None:
@@ -74,6 +83,22 @@ class StaticAllocator:
             raise AllocationError("insufficient capacity for a worst-case reservation")
         self._reservations[request_id] = self.reservation_bytes
         self._used_tokens[request_id] = initial_tokens
+
+    def reserve(self, request_id: int, initial_tokens: int, final_tokens: int) -> None:
+        """Admit a request that will grow to ``final_tokens`` of context.
+
+        The reservation is ``T_max`` regardless of ``final_tokens``; the
+        argument exists so both allocators share one admission signature.
+
+        Raises:
+            AllocationError: if the worst-case reservation does not fit or
+                the request's final context exceeds the static maximum.
+        """
+        if final_tokens < initial_tokens:
+            raise ValueError("final_tokens must be >= initial_tokens")
+        if final_tokens > self.max_context_tokens:
+            raise AllocationError("final context exceeds the static maximum")
+        self.admit(request_id, initial_tokens)
 
     def append_token(self, request_id: int, count: int = 1) -> None:
         """Record generated tokens; the reservation never grows or shrinks."""

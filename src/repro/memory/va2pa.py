@@ -8,7 +8,9 @@ instructions to reference dynamically allocated, non-contiguous memory.
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass, field
+from typing import Mapping
 
 
 class TranslationError(KeyError):
@@ -19,13 +21,18 @@ class TranslationError(KeyError):
 class VA2PATable:
     """Per-module VA-to-PA chunk translation table.
 
+    Mappings are stored per request so the hot lifecycle operations --
+    ``chunks_of`` and ``release`` on one request -- cost O(chunks of that
+    request) instead of O(all mappings in the table), which dominated
+    serving-sweep profiles when thousands of requests churn through the
+    allocator.
+
     Attributes:
         chunk_bytes: Size of one allocation chunk.
-        entries: Mapping ``(request_id, virtual_chunk) -> physical_chunk``.
     """
 
     chunk_bytes: int
-    entries: dict[tuple[int, int], int] = field(default_factory=dict)
+    _per_request: dict[int, dict[int, int]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.chunk_bytes <= 0:
@@ -35,43 +42,55 @@ class VA2PATable:
         """Install a mapping for one virtual chunk of a request."""
         if virtual_chunk < 0 or physical_chunk < 0:
             raise ValueError("chunk indices must be non-negative")
-        key = (request_id, virtual_chunk)
-        if key in self.entries and self.entries[key] != physical_chunk:
-            raise ValueError(f"virtual chunk {key} is already mapped to {self.entries[key]}")
-        self.entries[key] = physical_chunk
+        mappings = self._per_request.setdefault(request_id, {})
+        existing = mappings.get(virtual_chunk)
+        if existing is not None and existing != physical_chunk:
+            raise ValueError(
+                f"virtual chunk {(request_id, virtual_chunk)} is already mapped to {existing}"
+            )
+        mappings[virtual_chunk] = physical_chunk
 
     def translate(self, request_id: int, virtual_address: int) -> int:
         """Translate a virtual byte address of a request to a physical one."""
         if virtual_address < 0:
             raise ValueError("virtual_address must be non-negative")
         virtual_chunk, offset = divmod(virtual_address, self.chunk_bytes)
-        key = (request_id, virtual_chunk)
-        if key not in self.entries:
+        physical = self._per_request.get(request_id, {}).get(virtual_chunk)
+        if physical is None:
             raise TranslationError(f"no mapping for request {request_id} chunk {virtual_chunk}")
-        return self.entries[key] * self.chunk_bytes + offset
+        return physical * self.chunk_bytes + offset
 
     def chunks_of(self, request_id: int) -> list[int]:
         """Physical chunks mapped for a request, in virtual order."""
-        mapped = [
-            (virtual, physical)
-            for (req, virtual), physical in self.entries.items()
-            if req == request_id
-        ]
-        return [physical for _, physical in sorted(mapped)]
+        mappings = self._per_request.get(request_id, {})
+        return [physical for _, physical in sorted(mappings.items())]
 
     def release(self, request_id: int) -> list[int]:
         """Remove all mappings of a request and return the freed chunks."""
         freed = self.chunks_of(request_id)
-        self.entries = {
-            key: value for key, value in self.entries.items() if key[0] != request_id
-        }
+        self._per_request.pop(request_id, None)
         return freed
 
     @property
+    def entries(self) -> Mapping[tuple[int, int], int]:
+        """Flat ``(request_id, virtual_chunk) -> physical_chunk`` view.
+
+        Kept for compatibility with the original flat-dict storage, but
+        read-only: it is rebuilt on access, so a write through it could
+        only corrupt a throwaway copy -- mutating raises instead.  Use
+        :meth:`map` / :meth:`release` to change mappings.
+        """
+        return types.MappingProxyType({
+            (request_id, virtual): physical
+            for request_id, mappings in self._per_request.items()
+            for virtual, physical in mappings.items()
+        })
+
+    @property
     def num_entries(self) -> int:
-        return len(self.entries)
+        return sum(len(mappings) for mappings in self._per_request.values())
 
     @property
     def table_bytes(self) -> int:
         """Approximate SRAM footprint of the table (8B per entry)."""
-        return 8 * len(self.entries)
+        return 8 * self.num_entries

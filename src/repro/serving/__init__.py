@@ -1,0 +1,55 @@
+"""Event-driven decode serving engine (admission / scheduling / metrics).
+
+Layering, from the outside in:
+
+* :mod:`repro.serving.admission` -- pluggable :class:`AdmissionPolicy`
+  implementations (FCFS, capacity-aware, priority).
+* :mod:`repro.serving.engine` -- the :class:`ServingEngine` event loop
+  consuming timestamped arrivals.
+* :mod:`repro.serving.interfaces` -- the :class:`DecodeSystem` and
+  :class:`KVAllocator` protocols plus result types.
+* :mod:`repro.serving.lifecycle` -- per-request TTFT/TPOT/latency tracking.
+* :mod:`repro.serving.latency_cache` -- bucketed decode-step memoisation
+  for large sweeps.
+"""
+
+from repro.serving.admission import (
+    AdmissionCandidate,
+    AdmissionPolicy,
+    CapacityAwareAdmission,
+    FCFSAdmission,
+    PriorityAdmission,
+)
+from repro.serving.engine import EngineResult, ServingEngine, serve
+from repro.serving.interfaces import (
+    DecodeSystem,
+    KVAllocator,
+    ServingResult,
+    StepResult,
+    allocator_for,
+    build_allocator,
+)
+from repro.serving.latency_cache import StepLatencyCache
+from repro.serving.lifecycle import LatencyStats, LifecycleTracker, RequestRecord, percentile
+
+__all__ = [
+    "AdmissionCandidate",
+    "AdmissionPolicy",
+    "CapacityAwareAdmission",
+    "FCFSAdmission",
+    "PriorityAdmission",
+    "EngineResult",
+    "ServingEngine",
+    "serve",
+    "DecodeSystem",
+    "KVAllocator",
+    "ServingResult",
+    "StepResult",
+    "allocator_for",
+    "build_allocator",
+    "StepLatencyCache",
+    "LatencyStats",
+    "LifecycleTracker",
+    "RequestRecord",
+    "percentile",
+]

@@ -1,0 +1,355 @@
+"""Event-driven decode serving engine.
+
+The engine replaces the monolithic ``simulate_serving`` loop with three
+decoupled layers:
+
+1. **Admission** -- an :class:`~repro.serving.admission.AdmissionPolicy`
+   ranks arrived-but-waiting requests; the engine admits everything the
+   allocator accepts through the unified ``can_admit``/``reserve``/
+   ``release`` protocol (no ``isinstance`` special-casing).
+2. **Scheduling** -- the engine advances a simulation clock over decode
+   strides, idling forward to the next arrival when the system drains, so
+   open-loop (Poisson / replayed) traces are served faithfully.
+3. **Metrics** -- a :class:`~repro.serving.lifecycle.LifecycleTracker`
+   stamps every request's arrival, admission, first token and completion,
+   yielding TTFT / TPOT and latency percentiles on top of the legacy
+   throughput counters.
+
+A trace whose requests all arrive at time 0 and fit the context window
+(``prompt + output <= max_context_tokens``) served under FCFS reproduces
+the legacy loop's arithmetic exactly (same admissions, same strides, same
+floating-point accumulation order), which `tests/serving/test_parity.py`
+pins to 1e-9.  One deliberate divergence: a request whose output would
+outgrow the window is clamped to it -- the legacy loop kept generating
+past its own reservation, which could exhaust the allocator mid-decode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.memory.static_alloc import AllocationError
+from repro.pim.simulator import ZERO_BREAKDOWN
+from repro.serving.admission import AdmissionCandidate, AdmissionPolicy, FCFSAdmission
+from repro.serving.interfaces import (
+    DecodeSystem,
+    KVAllocator,
+    ServingResult,
+    allocator_for,
+)
+from repro.serving.latency_cache import StepLatencyCache
+from repro.serving.lifecycle import LatencyStats, LifecycleTracker, RequestRecord
+from repro.workloads.traces import RequestTrace
+
+
+@dataclass
+class EngineResult(ServingResult):
+    """Serving metrics extended with lifecycle latency statistics.
+
+    ``total_seconds`` (and therefore ``throughput_tokens_per_s``) counts
+    busy decode time only, matching the legacy loop; ``makespan_s`` adds
+    the idle gaps an open-loop arrival process introduces.
+    """
+
+    makespan_s: float = 0.0
+    idle_seconds: float = 0.0
+    admission_policy: str = "fcfs"
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    request_records: tuple[RequestRecord, ...] = ()
+    requests_dropped: int = 0
+
+    @property
+    def ttft_mean_s(self) -> float:
+        return self.latency.ttft_mean_s
+
+    @property
+    def tpot_mean_s(self) -> float:
+        return self.latency.tpot_mean_s
+
+    @property
+    def latency_p50_s(self) -> float:
+        return self.latency.latency_p50_s
+
+    @property
+    def latency_p95_s(self) -> float:
+        return self.latency.latency_p95_s
+
+    @property
+    def latency_p99_s(self) -> float:
+        return self.latency.latency_p99_s
+
+
+@dataclass
+class _ActiveRequest:
+    request_id: int
+    context: int
+    remaining: int
+
+
+@dataclass
+class ServingEngine:
+    """Serves a request trace on any :class:`DecodeSystem`.
+
+    Attributes:
+        system: System model that prices each decode step.
+        admission: Policy ranking waiting requests (default FCFS).
+        max_batch_size: Optional hard cap on concurrent requests.
+        step_stride: Decode steps advanced per latency evaluation; contexts
+            change slowly, so strides of 4-16 keep large sweeps cheap with
+            negligible error.
+        latency_cache: Optional memoisation of decode-step latencies; leave
+            ``None`` for exact per-step evaluation.
+    """
+
+    system: DecodeSystem
+    admission: AdmissionPolicy = field(default_factory=FCFSAdmission)
+    max_batch_size: int | None = None
+    step_stride: int = 1
+    latency_cache: StepLatencyCache | None = None
+
+    def __post_init__(self) -> None:
+        if self.step_stride < 1:
+            raise ValueError("step_stride must be >= 1")
+        if self.max_batch_size is not None and self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+
+    # -- helpers -----------------------------------------------------------
+
+    def _candidates(self, trace: RequestTrace) -> deque[AdmissionCandidate]:
+        """Clamp every request to the serving window, ordered by arrival.
+
+        The sort is stable on arrival time only, so simultaneous arrivals
+        keep their trace order -- which is what the legacy loop used and
+        what the parity guarantee depends on.
+        """
+        window = self.system.max_context_tokens
+        candidates = []
+        for request in trace.requests:
+            final = min(request.prompt_tokens + request.output_tokens, window)
+            prompt = max(1, final - request.output_tokens)
+            candidates.append(
+                AdmissionCandidate(request=request, prompt_tokens=prompt, final_tokens=final)
+            )
+        candidates.sort(key=lambda candidate: candidate.arrival_s)
+        return deque(candidates)
+
+    def _admit(
+        self,
+        arrived: list[AdmissionCandidate],
+        active: dict[int, _ActiveRequest],
+        allocator: KVAllocator,
+        tracker: LifecycleTracker,
+        clock: float,
+    ) -> int:
+        """Run one admission round; returns the number of requests admitted."""
+        admitted: set[int] = set()
+        for candidate in self.admission.order(arrived):
+            if self.max_batch_size is not None and len(active) >= self.max_batch_size:
+                break
+            if allocator.can_admit(candidate.final_tokens):
+                allocator.reserve(
+                    candidate.request_id, candidate.prompt_tokens, candidate.final_tokens
+                )
+                active[candidate.request_id] = _ActiveRequest(
+                    request_id=candidate.request_id,
+                    context=candidate.prompt_tokens,
+                    remaining=candidate.decode_tokens,
+                )
+                tracker.on_admission(candidate.request_id, clock)
+                admitted.add(candidate.request_id)
+            elif self.admission.head_of_line:
+                break
+        if admitted:
+            arrived[:] = [
+                candidate for candidate in arrived if candidate.request_id not in admitted
+            ]
+        return len(admitted)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, trace: RequestTrace, system_name: str = "") -> EngineResult:
+        """Serve ``trace`` to completion and aggregate metrics.
+
+        Raises:
+            AllocationError: if the system drains while a waiting request
+                can never be admitted (it exceeds total KV capacity) under
+                a head-of-line policy.  Skip-over policies drop such
+                requests instead and report them via ``requests_dropped``.
+        """
+        allocator = allocator_for(self.system)
+        future = self._candidates(trace)
+        arrived: list[AdmissionCandidate] = []
+        active: dict[int, _ActiveRequest] = {}
+        tracker = LifecycleTracker()
+        for candidate in future:
+            tracker.on_arrival(
+                candidate.request_id,
+                candidate.prompt_tokens,
+                candidate.decode_tokens,
+                candidate.arrival_s,
+            )
+
+        clock = 0.0
+        busy_seconds = 0.0
+        idle_seconds = 0.0
+        total_tokens = 0
+        steps = 0
+        served = 0
+        dropped: list[int] = []
+        if self.latency_cache is not None:
+            cache_hits_before = self.latency_cache.hits
+            cache_misses_before = self.latency_cache.misses
+        peak_batch = 0
+        batch_samples: list[int] = []
+        utilization_samples: list[float] = []
+        capacity_samples: list[float] = []
+        attention_total = ZERO_BREAKDOWN
+        fc_total = ZERO_BREAKDOWN
+
+        # An admission round is a complete pass: every remaining candidate
+        # was rejected against the round's final state, and capacity only
+        # shrinks within a round -- so re-running it is pointless until a
+        # request finishes (freeing capacity and a batch slot) or a new
+        # request arrives.  The dirty flag skips the per-step queue scan
+        # (and the skip-over policies' re-sort) during backlog.
+        admission_dirty = True
+
+        while future or arrived or active:
+            while future and future[0].arrival_s <= clock:
+                arrived.append(future.popleft())
+                admission_dirty = True
+
+            if admission_dirty:
+                served += self._admit(arrived, active, allocator, tracker, clock)
+                admission_dirty = False
+
+            if not active:
+                if arrived:
+                    # The admission round just ran against an *empty*
+                    # allocator.  Under a head-of-line policy that means the
+                    # head candidate can never be served (and blocks the
+                    # queue, legacy behaviour: error out); under a skip-over
+                    # policy every arrived candidate was tried and rejected,
+                    # so all of them are unservable: drop them and keep the
+                    # run's results.
+                    if self.admission.head_of_line:
+                        head = next(iter(self.admission.order(tuple(arrived))))
+                        raise AllocationError(
+                            f"head-of-line request {head.request_id} "
+                            f"({head.final_tokens} tokens) can never fit the "
+                            "system's KV-cache capacity and blocks the queue; "
+                            "increase capacity, shorten the request, or use a "
+                            "skip-over admission policy"
+                        )
+                    dropped.extend(candidate.request_id for candidate in arrived)
+                    arrived.clear()
+                    continue
+                if future:
+                    # System drained before the next arrival: idle forward.
+                    idle_seconds += future[0].arrival_s - clock
+                    clock = future[0].arrival_s
+                    continue
+                break
+
+            stride = min(self.step_stride, min(entry.remaining for entry in active.values()))
+            contexts = [entry.context for entry in active.values()]
+            if self.latency_cache is not None:
+                step = self.latency_cache.evaluate(self.system, contexts)
+            else:
+                step = self.system.decode_step(contexts)
+
+            busy_seconds += step.seconds * stride
+            clock += step.seconds * stride
+            total_tokens += len(active) * stride
+            steps += stride
+            batch_samples.append(len(active))
+            utilization_samples.append(step.pim_utilization)
+            peak_batch = max(peak_batch, len(active))
+            attention_total = attention_total + step.attention_breakdown.scaled(stride)
+            fc_total = fc_total + step.fc_breakdown.scaled(stride)
+            if allocator.capacity_bytes > 0:
+                # Fraction of the KV-cache capacity holding live tokens (the
+                # Fig. 19 metric): static reservations waste the gap between
+                # the actual and the maximum context; DPA only loses
+                # admission headroom and last-chunk fragmentation.
+                capacity_samples.append(allocator.used_bytes / allocator.capacity_bytes)
+
+            finished: list[int] = []
+            for entry in active.values():
+                allocator.append_token(entry.request_id, stride)
+                entry.context += stride
+                entry.remaining -= stride
+                tracker.on_tokens(entry.request_id, stride, clock, step.seconds)
+                if entry.remaining <= 0:
+                    finished.append(entry.request_id)
+            for request_id in finished:
+                allocator.release(request_id)
+                del active[request_id]
+                tracker.on_finish(request_id, clock)
+            if finished:
+                admission_dirty = True
+
+        def _mean(samples: list[float]) -> float:
+            return sum(samples) / len(samples) if samples else 0.0
+
+        metadata: dict = {}
+        if dropped:
+            metadata["dropped_request_ids"] = dropped
+        if self.latency_cache is not None:
+            # Deltas, not lifetime counters: the cache may be reused across
+            # runs and each result should report its own hit rate.
+            hits = self.latency_cache.hits - cache_hits_before
+            misses = self.latency_cache.misses - cache_misses_before
+            lookups = hits + misses
+            metadata["latency_cache"] = {
+                "bucket_tokens": self.latency_cache.bucket_tokens,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            }
+
+        return EngineResult(
+            system_name=system_name or type(self.system).__name__,
+            dataset=trace.dataset,
+            total_output_tokens=total_tokens,
+            total_seconds=busy_seconds,
+            steps=steps,
+            average_batch_size=_mean([float(sample) for sample in batch_samples]),
+            peak_batch_size=peak_batch,
+            average_pim_utilization=_mean(utilization_samples),
+            average_capacity_utilization=_mean(capacity_samples),
+            attention_breakdown=attention_total,
+            fc_breakdown=fc_total,
+            total_pim_channels=self.system.total_pim_channels,
+            requests_served=served,
+            metadata=metadata,
+            makespan_s=clock,
+            idle_seconds=idle_seconds,
+            admission_policy=self.admission.name,
+            latency=tracker.stats(),
+            request_records=tuple(
+                tracker.records[key] for key in sorted(tracker.records)
+            ),
+            requests_dropped=len(dropped),
+        )
+
+
+def serve(
+    system: DecodeSystem,
+    trace: RequestTrace,
+    admission: AdmissionPolicy | None = None,
+    max_batch_size: int | None = None,
+    step_stride: int = 1,
+    latency_cache: StepLatencyCache | None = None,
+    system_name: str = "",
+) -> EngineResult:
+    """One-shot convenience wrapper around :class:`ServingEngine`."""
+    engine = ServingEngine(
+        system=system,
+        admission=admission if admission is not None else FCFSAdmission(),
+        max_batch_size=max_batch_size,
+        step_stride=step_stride,
+        latency_cache=latency_cache,
+    )
+    return engine.run(trace, system_name=system_name)

@@ -1,0 +1,156 @@
+"""Protocols and result types shared across the serving engine layers.
+
+The serving stack is split into three layers that only meet through the
+interfaces defined here:
+
+* **admission** (:mod:`repro.serving.admission`) decides *which* waiting
+  request to try next;
+* the **engine** (:mod:`repro.serving.engine`) owns the event loop, the
+  simulation clock and per-request lifecycle tracking;
+* the **memory system** is any :class:`KVAllocator` and the **compute
+  system** any :class:`DecodeSystem` -- both pluggable, so new hardware
+  models and allocation policies slot in without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.memory.chunked_alloc import ChunkedAllocator
+from repro.memory.static_alloc import StaticAllocator
+from repro.pim.simulator import CycleBreakdown, ZERO_BREAKDOWN
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one decode step for the whole active batch.
+
+    Attributes:
+        seconds: Wall-clock time of the step.
+        pim_utilization: Mean PIM channel busy fraction during the step
+            (zero for systems without PIM).
+        attention_breakdown: System-wide attention cycle breakdown (energy).
+        fc_breakdown: System-wide FC cycle breakdown when FC runs on PIM.
+    """
+
+    seconds: float
+    pim_utilization: float
+    attention_breakdown: CycleBreakdown = ZERO_BREAKDOWN
+    fc_breakdown: CycleBreakdown = ZERO_BREAKDOWN
+
+
+class DecodeSystem(Protocol):
+    """Interface the serving engine requires from a system model."""
+
+    @property
+    def kv_capacity_bytes(self) -> int: ...
+
+    @property
+    def kv_bytes_per_token(self) -> int: ...
+
+    @property
+    def max_context_tokens(self) -> int: ...
+
+    @property
+    def dynamic_memory(self) -> bool: ...
+
+    @property
+    def total_pim_channels(self) -> int: ...
+
+    def decode_step(self, context_lengths: Sequence[int]) -> StepResult: ...
+
+
+@runtime_checkable
+class KVAllocator(Protocol):
+    """Unified KV-cache allocator interface.
+
+    Both :class:`~repro.memory.static_alloc.StaticAllocator` and
+    :class:`~repro.memory.chunked_alloc.ChunkedAllocator` implement this
+    protocol, so the engine never inspects the concrete allocator type.
+    """
+
+    capacity_bytes: int
+
+    @property
+    def used_bytes(self) -> int: ...
+
+    @property
+    def num_requests(self) -> int: ...
+
+    def can_admit(self, final_tokens: int) -> bool: ...
+
+    def reserve(self, request_id: int, initial_tokens: int, final_tokens: int) -> None: ...
+
+    def append_token(self, request_id: int, count: int = 1) -> None: ...
+
+    def release(self, request_id: int) -> None: ...
+
+
+def build_allocator(
+    capacity_bytes: int,
+    bytes_per_token: int,
+    max_context_tokens: int,
+    dynamic: bool,
+) -> KVAllocator:
+    """Construct the allocator matching a system's memory-management mode.
+
+    Args:
+        capacity_bytes: Total KV-cache capacity.
+        bytes_per_token: KV bytes appended per generated token.
+        max_context_tokens: ``T_max`` sizing static reservations.
+        dynamic: DPA/PagedAttention-style chunked allocation when true,
+            static ``T_max`` reservations otherwise.
+    """
+    if dynamic:
+        return ChunkedAllocator(
+            capacity_bytes=capacity_bytes,
+            bytes_per_token=bytes_per_token,
+        )
+    return StaticAllocator(
+        capacity_bytes=capacity_bytes,
+        max_context_tokens=max_context_tokens,
+        bytes_per_token=bytes_per_token,
+    )
+
+
+def allocator_for(system: DecodeSystem) -> KVAllocator:
+    """Build the allocator matching a system's capacity properties."""
+    return build_allocator(
+        capacity_bytes=system.kv_capacity_bytes,
+        bytes_per_token=system.kv_bytes_per_token,
+        max_context_tokens=system.max_context_tokens,
+        dynamic=system.dynamic_memory,
+    )
+
+
+@dataclass
+class ServingResult:
+    """Aggregate metrics of one serving run."""
+
+    system_name: str
+    dataset: str
+    total_output_tokens: int
+    total_seconds: float
+    steps: int
+    average_batch_size: float
+    peak_batch_size: int
+    average_pim_utilization: float
+    average_capacity_utilization: float
+    attention_breakdown: CycleBreakdown = ZERO_BREAKDOWN
+    fc_breakdown: CycleBreakdown = ZERO_BREAKDOWN
+    total_pim_channels: int = 0
+    requests_served: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_output_tokens / self.total_seconds
+
+    @property
+    def average_step_seconds(self) -> float:
+        if self.steps == 0:
+            return 0.0
+        return self.total_seconds / self.steps

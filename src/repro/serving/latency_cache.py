@@ -1,0 +1,102 @@
+"""Memoised decode-step latency keyed by bucketed context histograms.
+
+A decode step's latency depends only on the multiset of active context
+lengths, and those change slowly (one token per request per step), so large
+serving sweeps evaluate thousands of nearly identical batches.  The cache
+quantises every context into ``bucket_tokens``-wide buckets and memoises
+one :class:`~repro.serving.interfaces.StepResult` per bucket histogram.  A
+miss is evaluated at the *actual* triggering contexts (never at synthetic
+representatives, which could fall outside the model's window or misprice
+sub-bucket contexts), so the first evaluation of every histogram is exact
+and later hits are off by at most the intra-bucket drift.  With the
+paper's 32K-128K contexts and a 256-token bucket that is under 1% relative
+context error, while a 1k-request sweep collapses to a few hundred
+distinct evaluations.
+
+``bucket_tokens=1`` degenerates to exact memoisation: every batch in a key
+class has identical contexts, so results are bit-identical to uncached
+evaluation (useful when re-serving traces on the same configuration).
+
+A cache binds to the first system it evaluates: entries are latencies *of
+that system*, so sweeping several configurations needs one cache each
+(mixing them would silently return another system's timings).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.serving.interfaces import DecodeSystem, StepResult
+
+
+@dataclass
+class StepLatencyCache:
+    """LRU-bounded memoisation of one system's ``decode_step`` results.
+
+    Attributes:
+        bucket_tokens: Context quantisation granularity; 1 is exact.
+        max_entries: LRU capacity bound, to keep week-long sweeps from
+            growing the cache without limit.
+        hits: Number of lookups served from the cache.
+        misses: Number of lookups that evaluated the system model.
+    """
+
+    bucket_tokens: int = 256
+    max_entries: int = 65536
+    hits: int = 0
+    misses: int = 0
+    _store: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _bound_system: DecodeSystem | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bucket_tokens < 1:
+            raise ValueError("bucket_tokens must be >= 1")
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+
+    def _key(self, context_lengths: Sequence[int]) -> tuple[int, ...]:
+        """Histogram key: the sorted bucket indices of the batch."""
+        return tuple(sorted(length // self.bucket_tokens for length in context_lengths))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+        self._bound_system = None
+
+    def evaluate(self, system: DecodeSystem, context_lengths: Sequence[int]) -> StepResult:
+        """Return the (possibly memoised) decode-step result for a batch.
+
+        Raises:
+            ValueError: if the cache already holds entries for a different
+                system object; cached latencies are system-specific.
+        """
+        if self._bound_system is None:
+            self._bound_system = system
+        elif self._bound_system is not system:
+            raise ValueError(
+                "StepLatencyCache is bound to a different system; use one "
+                "cache per system configuration (or call clear())"
+            )
+        key = self._key(context_lengths)
+        cached = self._store.get(key)
+        if cached is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return cached
+        result = system.decode_step(list(context_lengths))
+        self.misses += 1
+        self._store[key] = result
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return result

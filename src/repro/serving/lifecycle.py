@@ -1,0 +1,142 @@
+"""Per-request lifecycle tracking and latency statistics.
+
+The engine stamps each request at four points -- arrival, admission, first
+generated token, completion -- and the aggregation here turns those stamps
+into the serving metrics the paper's evaluation (and any production SLO)
+cares about: time-to-first-token (TTFT), time-per-output-token (TPOT),
+queueing delay, and end-to-end latency percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle timestamps and progress of one request.
+
+    All times are simulation seconds.  ``first_token_s`` and ``finish_s``
+    are ``nan`` until the corresponding event happens.
+    """
+
+    request_id: int
+    prompt_tokens: int
+    output_tokens: int
+    arrival_s: float
+    admitted_s: float = math.nan
+    first_token_s: float = math.nan
+    finish_s: float = math.nan
+    generated: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return not math.isnan(self.finish_s)
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent waiting for admission."""
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Time-to-first-token: arrival to the first generated token."""
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Time-per-output-token over the steady decode phase.
+
+        Measured from the first to the last generated token; requests that
+        emit a single token have no inter-token gap and report 0.
+        """
+        if self.output_tokens <= 1:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / (self.output_tokens - 1)
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: arrival to completion."""
+        return self.finish_s - self.arrival_s
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    return float(np.percentile(np.asarray(samples), fraction * 100.0))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Aggregated per-request latency metrics of one serving run."""
+
+    ttft_mean_s: float = 0.0
+    ttft_p95_s: float = 0.0
+    tpot_mean_s: float = 0.0
+    queue_delay_mean_s: float = 0.0
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
+
+    @staticmethod
+    def from_records(records: Sequence[RequestRecord]) -> "LatencyStats":
+        finished = [record for record in records if record.finished]
+        if not finished:
+            return LatencyStats()
+        ttfts = [record.ttft_s for record in finished]
+        latencies = [record.latency_s for record in finished]
+        return LatencyStats(
+            ttft_mean_s=sum(ttfts) / len(finished),
+            ttft_p95_s=percentile(ttfts, 0.95),
+            tpot_mean_s=sum(record.tpot_s for record in finished) / len(finished),
+            queue_delay_mean_s=sum(record.queue_delay_s for record in finished) / len(finished),
+            latency_p50_s=percentile(latencies, 0.50),
+            latency_p95_s=percentile(latencies, 0.95),
+            latency_p99_s=percentile(latencies, 0.99),
+        )
+
+
+@dataclass
+class LifecycleTracker:
+    """Collects :class:`RequestRecord` entries as the engine runs."""
+
+    records: dict[int, RequestRecord] = field(default_factory=dict)
+
+    def on_arrival(
+        self, request_id: int, prompt_tokens: int, output_tokens: int, arrival_s: float
+    ) -> RequestRecord:
+        record = RequestRecord(
+            request_id=request_id,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            arrival_s=arrival_s,
+        )
+        self.records[request_id] = record
+        return record
+
+    def on_admission(self, request_id: int, now_s: float) -> None:
+        self.records[request_id].admitted_s = now_s
+
+    def on_tokens(self, request_id: int, count: int, step_end_s: float, step_seconds: float) -> None:
+        """Record ``count`` tokens generated in a stride ending at ``step_end_s``.
+
+        The first token of a request completes one decode step into its
+        first stride, which pins TTFT even when ``step_stride > 1``.
+        """
+        record = self.records[request_id]
+        if record.generated == 0 and count > 0:
+            record.first_token_s = step_end_s - step_seconds * (count - 1)
+        record.generated += count
+
+    def on_finish(self, request_id: int, now_s: float) -> None:
+        self.records[request_id].finish_s = now_s
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_records(list(self.records.values()))

@@ -4,8 +4,8 @@ from repro.system.interconnect import InterconnectConfig
 from repro.system.layers import ModuleLayerTimes, module_attention_time, module_fc_time
 from repro.system.parallelism import ParallelismPlan, enumerate_plans, best_plan
 from repro.system.pim_only import PIMOnlySystem
-from repro.system.serving import ServingResult, simulate_serving
-from repro.system.xpu import XPUConfig
+from repro.system.serving import EngineResult, ServingResult, simulate_serving
+from repro.system.xpu import XPUConfig, XPUOnlySystem
 from repro.system.xpu_pim import XPUPIMSystem
 
 __all__ = [
@@ -17,8 +17,10 @@ __all__ = [
     "module_attention_time",
     "module_fc_time",
     "XPUConfig",
+    "XPUOnlySystem",
     "PIMOnlySystem",
     "XPUPIMSystem",
+    "EngineResult",
     "ServingResult",
     "simulate_serving",
 ]

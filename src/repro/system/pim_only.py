@@ -18,8 +18,8 @@ from repro.pim.config import PIMModuleConfig, cent_module_config
 from repro.system.interconnect import InterconnectConfig
 from repro.system.layers import module_attention_time, module_fc_time
 from repro.system.parallelism import ParallelismPlan
+from repro.serving.interfaces import StepResult
 from repro.system.pipeline import StageCost, pipeline_decode_step
-from repro.system.serving import StepResult
 
 
 @dataclass

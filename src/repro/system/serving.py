@@ -1,120 +1,35 @@
-"""Decode serving loop shared by all system models.
+"""Backward-compatible facade over the event-driven serving engine.
 
-The loop admits requests from a trace subject to the system's KV-cache
-capacity and allocation policy (static ``T_max`` reservations or DPA-style
-chunked allocation), advances every active request by one token per decode
-step, and reports throughput, batch-size, utilisation and capacity metrics.
-Any object implementing the small :class:`DecodeSystem` protocol -- the
-PIM-only system, the xPU+PIM system and the GPU baseline -- can be served.
+The serving stack now lives in :mod:`repro.serving` -- admission policies,
+the :class:`~repro.serving.engine.ServingEngine` event loop, per-request
+lifecycle metrics and the decode-step latency cache.  This module keeps the
+historical import surface (``StepResult``, ``DecodeSystem``,
+``ServingResult``, ``simulate_serving``) working unchanged: on traces
+without arrival timestamps (the only kind that existed before, every
+request at time 0) whose requests fit the context window, the FCFS engine
+reproduces the legacy synchronous loop's results exactly.  Traces carrying
+timestamps -- e.g. from :func:`~repro.workloads.traces.poisson_arrivals`
+-- are served open-loop, with arrival-gated admission and idle gaps.
+Requests whose output would outgrow the context window are clamped to it
+(the legacy loop generated past its own reservation, risking mid-decode
+allocation failure).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Protocol, Sequence
-
-from repro.memory.chunked_alloc import ChunkedAllocator
-from repro.memory.static_alloc import AllocationError, StaticAllocator
-from repro.pim.simulator import CycleBreakdown, ZERO_BREAKDOWN
+from repro.memory.static_alloc import AllocationError
+from repro.serving.engine import EngineResult, ServingEngine
+from repro.serving.interfaces import DecodeSystem, ServingResult, StepResult
 from repro.workloads.traces import RequestTrace
 
-
-@dataclass(frozen=True)
-class StepResult:
-    """Outcome of one decode step for the whole active batch.
-
-    Attributes:
-        seconds: Wall-clock time of the step.
-        pim_utilization: Mean PIM channel busy fraction during the step
-            (zero for systems without PIM).
-        attention_breakdown: System-wide attention cycle breakdown (energy).
-        fc_breakdown: System-wide FC cycle breakdown when FC runs on PIM.
-    """
-
-    seconds: float
-    pim_utilization: float
-    attention_breakdown: CycleBreakdown = ZERO_BREAKDOWN
-    fc_breakdown: CycleBreakdown = ZERO_BREAKDOWN
-
-
-class DecodeSystem(Protocol):
-    """Interface the serving loop requires from a system model."""
-
-    @property
-    def kv_capacity_bytes(self) -> int: ...
-
-    @property
-    def kv_bytes_per_token(self) -> int: ...
-
-    @property
-    def max_context_tokens(self) -> int: ...
-
-    @property
-    def dynamic_memory(self) -> bool: ...
-
-    @property
-    def total_pim_channels(self) -> int: ...
-
-    def decode_step(self, context_lengths: Sequence[int]) -> StepResult: ...
-
-
-@dataclass
-class ServingResult:
-    """Aggregate metrics of one serving run."""
-
-    system_name: str
-    dataset: str
-    total_output_tokens: int
-    total_seconds: float
-    steps: int
-    average_batch_size: float
-    peak_batch_size: int
-    average_pim_utilization: float
-    average_capacity_utilization: float
-    attention_breakdown: CycleBreakdown = ZERO_BREAKDOWN
-    fc_breakdown: CycleBreakdown = ZERO_BREAKDOWN
-    total_pim_channels: int = 0
-    requests_served: int = 0
-    metadata: dict = field(default_factory=dict)
-
-    @property
-    def throughput_tokens_per_s(self) -> float:
-        if self.total_seconds <= 0:
-            return 0.0
-        return self.total_output_tokens / self.total_seconds
-
-    @property
-    def average_step_seconds(self) -> float:
-        if self.steps == 0:
-            return 0.0
-        return self.total_seconds / self.steps
-
-
-@dataclass
-class _ActiveRequest:
-    request_id: int
-    context: int
-    remaining: int
-
-
-def _make_allocator(system: DecodeSystem) -> ChunkedAllocator | StaticAllocator:
-    if system.dynamic_memory:
-        return ChunkedAllocator(
-            capacity_bytes=system.kv_capacity_bytes,
-            bytes_per_token=system.kv_bytes_per_token,
-        )
-    return StaticAllocator(
-        capacity_bytes=system.kv_capacity_bytes,
-        max_context_tokens=system.max_context_tokens,
-        bytes_per_token=system.kv_bytes_per_token,
-    )
-
-
-def _can_admit(allocator: ChunkedAllocator | StaticAllocator, prompt_tokens: int) -> bool:
-    if isinstance(allocator, ChunkedAllocator):
-        return allocator.can_admit(prompt_tokens)
-    return allocator.can_admit()
+__all__ = [
+    "AllocationError",
+    "DecodeSystem",
+    "EngineResult",
+    "ServingResult",
+    "StepResult",
+    "simulate_serving",
+]
 
 
 def simulate_serving(
@@ -123,8 +38,16 @@ def simulate_serving(
     max_batch_size: int | None = None,
     step_stride: int = 1,
     system_name: str = "",
-) -> ServingResult:
+) -> EngineResult:
     """Run a decode serving simulation of ``trace`` on ``system``.
+
+    Thin wrapper over :class:`~repro.serving.engine.ServingEngine` with the
+    legacy defaults (FCFS admission, exact per-step latency evaluation).
+    Arrival timestamps on the trace are honoured; a trace without them
+    (every ``arrival_s`` at 0) whose requests fit the context window
+    reproduces the legacy closed-loop loop's numbers exactly.  The
+    returned :class:`EngineResult` is a
+    :class:`ServingResult` extended with TTFT/TPOT and latency percentiles.
 
     Args:
         system: System model implementing :class:`DecodeSystem`.
@@ -136,112 +59,14 @@ def simulate_serving(
         system_name: Label stored in the result.
 
     Returns:
-        A :class:`ServingResult` with throughput and utilisation metrics.
+        An :class:`EngineResult` with throughput and utilisation metrics.
 
     Raises:
         AllocationError: if a single request cannot fit the system's memory.
     """
-    if step_stride < 1:
-        raise ValueError("step_stride must be >= 1")
-    allocator = _make_allocator(system)
-    pending = deque(trace.requests)
-    active: dict[int, _ActiveRequest] = {}
-    # Chunked allocation admits against the request's *final* context length
-    # so a request never runs out of chunks mid-decode; static allocation
-    # already reserves T_max which bounds any admissible request.
-    committed_chunks = 0
-    chunk_commitment: dict[int, int] = {}
-
-    total_seconds = 0.0
-    total_tokens = 0
-    steps = 0
-    batch_samples: list[int] = []
-    utilization_samples: list[float] = []
-    capacity_samples: list[float] = []
-    attention_total = ZERO_BREAKDOWN
-    fc_total = ZERO_BREAKDOWN
-    peak_batch = 0
-    served = 0
-
-    while pending or active:
-        # Admit as many pending requests as the allocator allows.
-        while pending:
-            if max_batch_size is not None and len(active) >= max_batch_size:
-                break
-            request = pending[0]
-            final_context = min(
-                request.prompt_tokens + request.output_tokens, system.max_context_tokens
-            )
-            prompt = max(1, final_context - request.output_tokens)
-            if isinstance(allocator, ChunkedAllocator):
-                needed = allocator.chunks_needed(final_context)
-                if committed_chunks + needed > allocator.total_chunks:
-                    break
-                committed_chunks += needed
-                chunk_commitment[request.request_id] = needed
-            elif not _can_admit(allocator, prompt):
-                break
-            pending.popleft()
-            allocator.admit(request.request_id, prompt)
-            active[request.request_id] = _ActiveRequest(
-                request_id=request.request_id,
-                context=prompt,
-                remaining=request.output_tokens,
-            )
-            served += 1
-
-        if not active:
-            raise AllocationError(
-                "no request fits the system's KV-cache capacity; "
-                "increase capacity or shorten the workload"
-            )
-
-        stride = min(step_stride, min(entry.remaining for entry in active.values()))
-        contexts = [entry.context for entry in active.values()]
-        step = system.decode_step(contexts)
-
-        total_seconds += step.seconds * stride
-        total_tokens += len(active) * stride
-        steps += stride
-        batch_samples.append(len(active))
-        utilization_samples.append(step.pim_utilization)
-        peak_batch = max(peak_batch, len(active))
-        attention_total = attention_total + step.attention_breakdown.scaled(stride)
-        fc_total = fc_total + step.fc_breakdown.scaled(stride)
-        if allocator.capacity_bytes > 0:
-            # Fraction of the KV-cache capacity holding live tokens (the
-            # Fig. 19 metric): static reservations waste the gap between the
-            # actual and the maximum context; DPA only loses admission
-            # headroom and last-chunk fragmentation.
-            capacity_samples.append(allocator.used_bytes / allocator.capacity_bytes)
-
-        finished: list[int] = []
-        for entry in active.values():
-            allocator.append_token(entry.request_id, stride)
-            entry.context += stride
-            entry.remaining -= stride
-            if entry.remaining <= 0:
-                finished.append(entry.request_id)
-        for request_id in finished:
-            allocator.release(request_id)
-            del active[request_id]
-            committed_chunks -= chunk_commitment.pop(request_id, 0)
-
-    def _mean(samples: list[float]) -> float:
-        return sum(samples) / len(samples) if samples else 0.0
-
-    return ServingResult(
-        system_name=system_name or type(system).__name__,
-        dataset=trace.dataset,
-        total_output_tokens=total_tokens,
-        total_seconds=total_seconds,
-        steps=steps,
-        average_batch_size=_mean([float(b) for b in batch_samples]),
-        peak_batch_size=peak_batch,
-        average_pim_utilization=_mean(utilization_samples),
-        average_capacity_utilization=_mean(capacity_samples),
-        attention_breakdown=attention_total,
-        fc_breakdown=fc_total,
-        total_pim_channels=system.total_pim_channels,
-        requests_served=served,
+    engine = ServingEngine(
+        system=system,
+        max_batch_size=max_batch_size,
+        step_stride=step_stride,
     )
+    return engine.run(trace, system_name=system_name)

@@ -8,7 +8,11 @@ units' effective throughput or by streaming its weights from memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.models.llm import LLMConfig
+from repro.serving.interfaces import StepResult
 
 
 @dataclass(frozen=True)
@@ -69,3 +73,83 @@ def fc_layer_seconds(
         activation_bytes = float(batch_size * (in_dim + out_shard) * dtype_bytes)
         total += xpu.gemm_seconds(flops, weight_bytes, activation_bytes)
     return total
+
+
+@dataclass
+class XPUOnlySystem:
+    """Homogeneous xPU system: FC *and* attention on the matrix units.
+
+    Serves as the no-PIM ablation point between the GPU baseline and the
+    heterogeneous xPU+PIM system: attention degenerates to streaming every
+    request's KV cache through the module's memory interface, which is what
+    PIM offload removes.  Implements the
+    :class:`~repro.serving.interfaces.DecodeSystem` protocol so the same
+    serving engine drives it.
+
+    Attributes:
+        model: LLM being served.
+        num_modules: Tensor-parallel module count.
+        xpu: Per-module compute/bandwidth resources.
+        capacity_bytes_per_module: Memory capacity of one module.
+        paged_kv: Use block-granular (dynamic) KV allocation for admission.
+    """
+
+    model: LLMConfig
+    num_modules: int
+    xpu: XPUConfig = field(default_factory=XPUConfig)
+    capacity_bytes_per_module: int = 32 * 1024**3
+    paged_kv: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_modules <= 0:
+            raise ValueError("num_modules must be positive")
+        if self.capacity_bytes_per_module <= 0:
+            raise ValueError("capacity_bytes_per_module must be positive")
+
+    # -- DecodeSystem protocol ------------------------------------------------
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.num_modules * self.capacity_bytes_per_module
+
+    @property
+    def kv_capacity_bytes(self) -> int:
+        return max(0, self.total_capacity_bytes - self.model.param_bytes)
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        return self.model.kv_bytes_per_token
+
+    @property
+    def max_context_tokens(self) -> int:
+        return self.model.context_window
+
+    @property
+    def dynamic_memory(self) -> bool:
+        return self.paged_kv
+
+    @property
+    def total_pim_channels(self) -> int:
+        return 0
+
+    def decode_step(self, context_lengths: Sequence[int]) -> StepResult:
+        """Roofline latency of one decode step across the module group."""
+        contexts = [length for length in context_lengths if length > 0]
+        if not contexts:
+            return StepResult(seconds=0.0, pim_utilization=0.0)
+        model = self.model
+        fc_seconds = model.num_layers * fc_layer_seconds(
+            xpu=self.xpu,
+            batch_size=len(contexts),
+            d_model=model.d_model,
+            kv_dim=model.kv_dim,
+            ffn_dim=model.ffn_dim,
+            gated_ffn=model.gated_ffn,
+            tensor_parallel=self.num_modules,
+            dtype_bytes=model.dtype_bytes,
+        )
+        # Attention is memory bound: each step streams every request's KV
+        # cache through the modules' memory interfaces once.
+        kv_bytes = sum(contexts) * model.kv_bytes_per_token / self.num_modules
+        attention_seconds = kv_bytes / self.xpu.memory_bandwidth_bytes
+        return StepResult(seconds=fc_seconds + attention_seconds, pim_utilization=0.0)

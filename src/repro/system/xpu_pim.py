@@ -19,8 +19,8 @@ from repro.pim.simulator import ZERO_BREAKDOWN
 from repro.system.interconnect import InterconnectConfig
 from repro.system.layers import module_attention_time
 from repro.system.parallelism import ParallelismPlan
+from repro.serving.interfaces import StepResult
 from repro.system.pipeline import StageCost, pipeline_decode_step
-from repro.system.serving import StepResult
 from repro.system.xpu import XPUConfig, fc_layer_seconds
 
 #: Fraction of the slower engine's time added per layer for xPU/PIM

@@ -1,7 +1,13 @@
 """Long-context workload generators matched to LongBench / LV-Eval statistics."""
 
 from repro.workloads.datasets import DatasetStats, get_dataset, list_datasets
-from repro.workloads.traces import Request, RequestTrace, generate_trace
+from repro.workloads.traces import (
+    Request,
+    RequestTrace,
+    generate_trace,
+    poisson_arrivals,
+    replay_arrivals,
+)
 
 __all__ = [
     "DatasetStats",
@@ -10,4 +16,6 @@ __all__ = [
     "Request",
     "RequestTrace",
     "generate_trace",
+    "poisson_arrivals",
+    "replay_arrivals",
 ]

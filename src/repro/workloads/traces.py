@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -17,15 +19,25 @@ class Request:
         request_id: Unique id within the trace.
         prompt_tokens: Input (prefill) context length.
         output_tokens: Tokens to generate during decoding.
+        arrival_s: Wall-clock arrival time in seconds.  Traces generated
+            without an arrival process have every request arrive at time 0,
+            which reproduces the legacy closed-loop serving behaviour.
+        priority: Scheduling priority (larger is more urgent); only
+            consulted by priority-aware admission policies.
     """
 
     request_id: int
     prompt_tokens: int
     output_tokens: int
+    arrival_s: float = 0.0
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0 or self.output_tokens <= 0:
             raise ValueError("prompt_tokens and output_tokens must be positive")
+        if not math.isfinite(self.arrival_s) or self.arrival_s < 0:
+            # NaN/inf would stall the engine's idle-forward clock forever.
+            raise ValueError("arrival_s must be finite and non-negative")
 
     @property
     def final_context(self) -> int:
@@ -61,6 +73,14 @@ class RequestTrace:
     def total_output_tokens(self) -> int:
         return sum(request.output_tokens for request in self.requests)
 
+    @property
+    def arrival_times(self) -> list[float]:
+        return [request.arrival_s for request in self.requests]
+
+    @property
+    def last_arrival_s(self) -> float:
+        return max(self.arrival_times, default=0.0)
+
 
 def generate_trace(
     dataset: DatasetStats,
@@ -92,3 +112,52 @@ def generate_trace(
         for index, length in enumerate(lengths)
     )
     return RequestTrace(dataset=stats.name, requests=requests)
+
+
+def poisson_arrivals(trace: RequestTrace, rate_rps: float, seed: int = 0) -> RequestTrace:
+    """Attach Poisson-process arrival times to a trace.
+
+    Inter-arrival gaps are drawn from an exponential distribution with mean
+    ``1 / rate_rps``, the standard open-loop serving model: requests arrive
+    independently at an average rate instead of all being queued at time 0.
+
+    Args:
+        trace: Trace whose requests receive arrival timestamps (in order).
+        rate_rps: Mean arrival rate in requests per second.
+        seed: Random seed (arrival processes are reproducible).
+
+    Returns:
+        A new :class:`RequestTrace` with monotonically increasing arrivals.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=len(trace.requests))
+    times = np.cumsum(gaps)
+    requests = tuple(
+        replace(request, arrival_s=float(time))
+        for request, time in zip(trace.requests, times)
+    )
+    return RequestTrace(dataset=trace.dataset, requests=requests)
+
+
+def replay_arrivals(trace: RequestTrace, arrival_times: Sequence[float]) -> RequestTrace:
+    """Attach explicit (replayed) arrival timestamps to a trace.
+
+    Args:
+        trace: Trace whose requests receive the timestamps, positionally.
+        arrival_times: One non-negative arrival time per request, e.g.
+            replayed from a production log.
+
+    Returns:
+        A new :class:`RequestTrace` with the given arrival times.
+    """
+    if len(arrival_times) != len(trace.requests):
+        raise ValueError(
+            f"expected {len(trace.requests)} arrival times, got {len(arrival_times)}"
+        )
+    requests = tuple(
+        replace(request, arrival_s=float(time))
+        for request, time in zip(trace.requests, arrival_times)
+    )
+    return RequestTrace(dataset=trace.dataset, requests=requests)

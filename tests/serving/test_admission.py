@@ -1,0 +1,78 @@
+"""Unit tests for admission policy ordering."""
+
+from repro.serving.admission import (
+    AdmissionCandidate,
+    AdmissionPolicy,
+    CapacityAwareAdmission,
+    FCFSAdmission,
+    PriorityAdmission,
+)
+from repro.workloads.traces import Request
+
+
+def candidate(request_id, prompt=1000, output=16, arrival=0.0, priority=0):
+    request = Request(
+        request_id=request_id,
+        prompt_tokens=prompt,
+        output_tokens=output,
+        arrival_s=arrival,
+        priority=priority,
+    )
+    return AdmissionCandidate(
+        request=request, prompt_tokens=prompt, final_tokens=prompt + output
+    )
+
+
+class TestFCFS:
+    def test_preserves_arrival_order(self):
+        waiting = [candidate(0, arrival=0.0), candidate(1, arrival=1.0), candidate(2, arrival=2.0)]
+        ordered = list(FCFSAdmission().order(waiting))
+        assert [entry.request_id for entry in ordered] == [0, 1, 2]
+
+    def test_blocks_head_of_line(self):
+        assert FCFSAdmission().head_of_line is True
+
+    def test_satisfies_protocol(self):
+        assert isinstance(FCFSAdmission(), AdmissionPolicy)
+
+
+class TestCapacityAware:
+    def test_orders_smallest_first(self):
+        waiting = [
+            candidate(0, prompt=30_000),
+            candidate(1, prompt=1_000),
+            candidate(2, prompt=10_000),
+        ]
+        ordered = list(CapacityAwareAdmission().order(waiting))
+        assert [entry.request_id for entry in ordered] == [1, 2, 0]
+
+    def test_ties_broken_by_arrival(self):
+        waiting = [
+            candidate(1, prompt=1_000, arrival=5.0),
+            candidate(0, prompt=1_000, arrival=1.0),
+        ]
+        ordered = list(CapacityAwareAdmission().order(waiting))
+        assert [entry.request_id for entry in ordered] == [0, 1]
+
+    def test_skips_blockers(self):
+        assert CapacityAwareAdmission().head_of_line is False
+
+
+class TestPriority:
+    def test_orders_by_descending_priority(self):
+        waiting = [
+            candidate(0, priority=0),
+            candidate(1, priority=5),
+            candidate(2, priority=1),
+        ]
+        ordered = list(PriorityAdmission().order(waiting))
+        assert [entry.request_id for entry in ordered] == [1, 2, 0]
+
+    def test_equal_priority_falls_back_to_arrival(self):
+        waiting = [
+            candidate(3, priority=2, arrival=9.0),
+            candidate(1, priority=2, arrival=1.0),
+            candidate(2, priority=2, arrival=4.0),
+        ]
+        ordered = list(PriorityAdmission().order(waiting))
+        assert [entry.request_id for entry in ordered] == [1, 2, 3]

@@ -1,0 +1,139 @@
+"""Tests for the bucketed decode-step latency cache."""
+
+import pytest
+
+from repro.baselines.cent import cent_system_config
+from repro.core.orchestrator import PIMphonyConfig
+from repro.serving import StepLatencyCache, serve
+from repro.serving.interfaces import StepResult
+from repro.workloads.datasets import get_dataset
+from repro.workloads.traces import generate_trace
+
+
+class CountingSystem:
+    """Constant-latency DecodeSystem that records evaluations."""
+
+    kv_capacity_bytes = 1 << 40
+    kv_bytes_per_token = 512
+    max_context_tokens = 1 << 20
+    dynamic_memory = True
+    total_pim_channels = 0
+
+    def __init__(self):
+        self.calls = 0
+        self.seen: list[list[int]] = []
+
+    def decode_step(self, context_lengths):
+        self.calls += 1
+        self.seen.append(list(context_lengths))
+        return StepResult(seconds=1e-3 * len(context_lengths), pim_utilization=0.5)
+
+
+def make_trace(model, requests=8, output=16, seed=0):
+    return generate_trace(
+        get_dataset("qmsum"),
+        num_requests=requests,
+        seed=seed,
+        context_window=model.context_window,
+        output_tokens=output,
+    )
+
+
+class TestStepLatencyCache:
+    def test_memoises_identical_batches(self):
+        system = CountingSystem()
+        cache = StepLatencyCache(bucket_tokens=1)
+        first = cache.evaluate(system, [100, 200])
+        second = cache.evaluate(system, [100, 200])
+        assert system.calls == 1
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_is_order_invariant(self):
+        system = CountingSystem()
+        cache = StepLatencyCache(bucket_tokens=1)
+        cache.evaluate(system, [100, 200])
+        cache.evaluate(system, [200, 100])
+        assert system.calls == 1
+
+    def test_bucketing_collapses_nearby_contexts(self):
+        system = CountingSystem()
+        cache = StepLatencyCache(bucket_tokens=256)
+        cache.evaluate(system, [1000])
+        cache.evaluate(system, [1020])  # same 256-token bucket
+        cache.evaluate(system, [5000])  # different bucket
+        assert system.calls == 2
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_lru_eviction_bounds_size(self):
+        system = CountingSystem()
+        cache = StepLatencyCache(bucket_tokens=1, max_entries=2)
+        cache.evaluate(system, [1])
+        cache.evaluate(system, [2])
+        cache.evaluate(system, [3])
+        assert len(cache) == 2
+        cache.evaluate(system, [1])  # evicted above, must re-evaluate
+        assert system.calls == 4
+
+    def test_misses_evaluate_at_actual_contexts(self):
+        # Misses are priced at the real triggering batch, never at synthetic
+        # bucket midpoints (which would misprice sub-bucket contexts and can
+        # exceed the model window in the top bucket).
+        system = CountingSystem()
+        cache = StepLatencyCache(bucket_tokens=256)
+        cache.evaluate(system, [10, 64])
+        assert system.seen == [[10, 64]]
+
+    def test_cache_rejects_a_second_system(self):
+        fast, slow = CountingSystem(), CountingSystem()
+        cache = StepLatencyCache(bucket_tokens=1)
+        cache.evaluate(fast, [100])
+        with pytest.raises(ValueError):
+            cache.evaluate(slow, [100])
+        cache.clear()
+        cache.evaluate(slow, [100])  # rebinding after clear() is fine
+        assert slow.calls == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StepLatencyCache(bucket_tokens=0)
+        with pytest.raises(ValueError):
+            StepLatencyCache(max_entries=0)
+
+
+class TestCachedServing:
+    def test_exact_cache_is_bit_identical(self, llm_7b):
+        trace = make_trace(llm_7b, requests=6, output=16)
+        system = cent_system_config(llm_7b, pimphony=PIMphonyConfig.full())
+        uncached = serve(system, trace, step_stride=4)
+        cached = serve(
+            system, trace, step_stride=4, latency_cache=StepLatencyCache(bucket_tokens=1)
+        )
+        assert cached.total_seconds == uncached.total_seconds
+        assert cached.throughput_tokens_per_s == uncached.throughput_tokens_per_s
+
+    def test_bucketed_cache_within_tolerance_and_faster(self, llm_7b):
+        trace = make_trace(llm_7b, requests=10, output=32)
+        system = cent_system_config(llm_7b, pimphony=PIMphonyConfig.full())
+        cache = StepLatencyCache(bucket_tokens=256)
+        uncached = serve(system, trace, step_stride=4)
+        cached = serve(system, trace, step_stride=4, latency_cache=cache)
+        assert cached.throughput_tokens_per_s == pytest.approx(
+            uncached.throughput_tokens_per_s, rel=0.02
+        )
+        assert cache.hits > cache.misses  # the sweep mostly reuses entries
+        assert cached.metadata["latency_cache"]["hit_rate"] == cache.hit_rate
+
+    def test_cache_reusable_across_runs(self, llm_7b):
+        trace = make_trace(llm_7b, requests=4, output=8)
+        system = cent_system_config(llm_7b, pimphony=PIMphonyConfig.full())
+        cache = StepLatencyCache(bucket_tokens=256)
+        first = serve(system, trace, step_stride=2, latency_cache=cache)
+        misses_first = cache.misses
+        second = serve(system, trace, step_stride=2, latency_cache=cache)
+        # A second identical run is served entirely from the cache, and each
+        # result reports its own per-run statistics, not lifetime counters.
+        assert cache.misses == misses_first
+        assert first.metadata["latency_cache"]["misses"] == misses_first
+        assert second.metadata["latency_cache"]["misses"] == 0
+        assert second.metadata["latency_cache"]["hit_rate"] == 1.0

@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dcs import DCSScheduler
@@ -142,6 +143,101 @@ def test_fc_program_counts_are_consistent(in_dim, out_dim):
     assert program.n_wr_inp >= n_in
     assert program.n_rd_out >= n_og
     assert program.row_activations >= 1
+
+
+@given(
+    tokens=st.integers(min_value=16, max_value=200_000),
+    group=st.sampled_from([1, 2, 4, 8]),
+    policy=st.sampled_from(["static", "pingpong", "dcs"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_cycle_breakdown_components_bound_total(tokens, group, policy):
+    """Components account for the total: exactly when execution is serial
+    (static scheduling has no overlap), and as an upper bound once pingpong
+    or DCS overlap transfers with MACs."""
+    channel = PIMChannelConfig()
+    timing = aimx_timing()
+    caps = caps_for_policy(channel, policy)
+    program = build_sv_program(tokens, 128, channel, caps, group_size=group)
+    breakdown = estimate_cycles(program, timing, policy)
+    components = (
+        breakdown.mac
+        + breakdown.dt_gbuf
+        + breakdown.dt_outreg
+        + breakdown.act_pre
+        + breakdown.refresh
+        + breakdown.pipeline_penalty
+    )
+    for value in (
+        breakdown.mac,
+        breakdown.dt_gbuf,
+        breakdown.dt_outreg,
+        breakdown.act_pre,
+        breakdown.refresh,
+        breakdown.pipeline_penalty,
+    ):
+        assert value >= 0.0
+    assert breakdown.io == breakdown.dt_gbuf + breakdown.dt_outreg
+    if policy == "static":
+        assert components == pytest.approx(breakdown.total, rel=1e-9)
+    else:
+        assert breakdown.total <= components * (1 + 1e-9)
+
+
+@given(
+    tokens=st.integers(min_value=16, max_value=50_000),
+    alpha=st.floats(min_value=0.0, max_value=64.0, allow_nan=False),
+    beta=st.floats(min_value=0.0, max_value=64.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_cycle_breakdown_scaled_is_linear(tokens, alpha, beta):
+    """scaled() is linear: scaled(a) + scaled(b) == scaled(a + b), and
+    addition is componentwise."""
+    channel = PIMChannelConfig()
+    timing = aimx_timing()
+    caps = caps_for_policy(channel, "dcs")
+    program = build_sv_program(tokens, 128, channel, caps, group_size=2)
+    breakdown = estimate_cycles(program, timing, "dcs")
+    split = breakdown.scaled(alpha) + breakdown.scaled(beta)
+    joint = breakdown.scaled(alpha + beta)
+    for attribute in ("mac", "dt_gbuf", "dt_outreg", "act_pre", "refresh",
+                      "pipeline_penalty", "total"):
+        assert getattr(split, attribute) == pytest.approx(
+            getattr(joint, attribute), rel=1e-9, abs=1e-9
+        )
+    identity = breakdown.scaled(1.0)
+    assert identity.total == pytest.approx(breakdown.total)
+
+
+@given(
+    n_groups=st.integers(min_value=1, max_value=6),
+    n_inputs=st.integers(min_value=1, max_value=8),
+    policy=st.sampled_from(["static", "dcs"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_schedule_issue_order_is_a_monotone_permutation(n_groups, n_inputs, policy):
+    """issue_order() returns every command exactly once, in non-decreasing
+    issue time with ties broken by program order (cmd_id)."""
+    timing_obj = aimx_timing()
+    channel = PIMChannelConfig()
+    commands = _random_gemv_stream(n_groups, n_inputs)
+    scheduler = (
+        StaticScheduler(timing_obj, channel)
+        if policy == "static"
+        else DCSScheduler(timing_obj, channel)
+    )
+    result = scheduler.schedule(commands)
+    order = result.issue_order()
+    assert sorted(order) == sorted(command.cmd_id for command in commands)
+    issue_of = {entry.command.cmd_id: entry.issue for entry in result.scheduled}
+    for earlier, later in zip(order, order[1:]):
+        assert issue_of[earlier] <= issue_of[later]
+        if issue_of[earlier] == issue_of[later]:
+            assert earlier < later
+    # Every scheduled command occupies a non-negative interval within the
+    # makespan.
+    for entry in result.scheduled:
+        assert 0 <= entry.issue <= entry.complete <= result.makespan
 
 
 @given(

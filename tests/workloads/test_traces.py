@@ -3,7 +3,12 @@
 import pytest
 
 from repro.workloads.datasets import get_dataset
-from repro.workloads.traces import Request, generate_trace
+from repro.workloads.traces import (
+    Request,
+    generate_trace,
+    poisson_arrivals,
+    replay_arrivals,
+)
 
 
 class TestTraceGeneration:
@@ -49,3 +54,62 @@ class TestTraceProperties:
         )
         request = trace.requests[0]
         assert request.final_context == request.prompt_tokens + 10
+
+    def test_default_arrivals_are_zero(self):
+        trace = generate_trace(get_dataset("qmsum"), 4, seed=0)
+        assert trace.arrival_times == [0.0] * 4
+        assert trace.last_arrival_s == 0.0
+
+
+class TestArrivalProcesses:
+    def test_poisson_arrivals_are_increasing_and_reproducible(self):
+        trace = generate_trace(get_dataset("qmsum"), 32, seed=0)
+        a = poisson_arrivals(trace, rate_rps=5.0, seed=3)
+        b = poisson_arrivals(trace, rate_rps=5.0, seed=3)
+        assert a.arrival_times == b.arrival_times
+        times = a.arrival_times
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+        assert times[0] > 0.0
+
+    def test_poisson_rate_sets_mean_gap(self):
+        trace = generate_trace(get_dataset("qmsum"), 2000, seed=0)
+        timed = poisson_arrivals(trace, rate_rps=10.0, seed=1)
+        mean_gap = timed.last_arrival_s / len(timed)
+        assert mean_gap == pytest.approx(0.1, rel=0.1)
+
+    def test_poisson_preserves_request_payloads(self):
+        trace = generate_trace(get_dataset("qmsum"), 8, seed=0, output_tokens=9)
+        timed = poisson_arrivals(trace, rate_rps=1.0, seed=0)
+        assert timed.prompt_lengths == trace.prompt_lengths
+        assert all(request.output_tokens == 9 for request in timed.requests)
+        assert timed.dataset == trace.dataset
+
+    def test_poisson_invalid_rate_rejected(self):
+        trace = generate_trace(get_dataset("qmsum"), 2, seed=0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(trace, rate_rps=0.0)
+
+    def test_replay_attaches_given_times(self):
+        trace = generate_trace(get_dataset("qmsum"), 3, seed=0)
+        replayed = replay_arrivals(trace, [0.5, 0.0, 2.0])
+        assert replayed.arrival_times == [0.5, 0.0, 2.0]
+        assert replayed.last_arrival_s == 2.0
+
+    def test_replay_length_mismatch_rejected(self):
+        trace = generate_trace(get_dataset("qmsum"), 3, seed=0)
+        with pytest.raises(ValueError):
+            replay_arrivals(trace, [0.0, 1.0])
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Request(request_id=0, prompt_tokens=10, output_tokens=1, arrival_s=-1.0)
+
+    def test_non_finite_arrivals_rejected(self):
+        # NaN/inf arrivals (e.g. missing values in a replayed log) would
+        # stall the engine's clock forever, so they must fail at build time.
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                Request(request_id=0, prompt_tokens=10, output_tokens=1, arrival_s=bad)
+        trace = generate_trace(get_dataset("qmsum"), 2, seed=0)
+        with pytest.raises(ValueError):
+            replay_arrivals(trace, [0.0, float("nan")])
