@@ -1,0 +1,137 @@
+"""Multi-replica serving demo: scaling, routing policies, prefill TTFT.
+
+Three things the replica router adds over a single serving engine:
+
+1. **Near-linear scaling** -- the same Poisson workload served by 1/2/4/8
+   data-parallel CENT replicas; aggregate throughput (tokens over fleet
+   makespan) scales almost linearly because replicas are independent.
+2. **Routing policies** -- under skewed context-length traffic on
+   capacity-constrained replicas, round-robin aliases every heavy request
+   onto one replica while capacity-aware routing (via the shadow
+   ``can_admit`` protocol) spreads the KV reservations, collapsing p95
+   TTFT.
+3. **Prefill-aware TTFT** -- with a prefill cost model charged at
+   admission, time-to-first-token finally depends on prompt length; the
+   chunked variant interleaves prompt processing with ongoing decode.
+
+Run with:  python examples/multi_replica_scaling.py
+"""
+
+from repro.analysis.reporting import fleet_summary_table, format_table
+from repro.baselines.cent import cent_system_config
+from repro.core.orchestrator import PIMphonyConfig
+from repro.models.llm import get_model
+from repro.serving import (
+    CapacityAwareRouting,
+    LeastOutstandingRouting,
+    PrefillConfig,
+    ReplicaRouter,
+    RoundRobinRouting,
+    ServingEngine,
+    prefill_model_for,
+    serve,
+)
+from repro.workloads.traces import Request, RequestTrace, poisson_arrivals
+
+
+def replica_scaling(model, system) -> None:
+    requests = tuple(
+        Request(request_id=index, prompt_tokens=512, output_tokens=32)
+        for index in range(192)
+    )
+    trace = poisson_arrivals(
+        RequestTrace(dataset="uniform", requests=requests), rate_rps=2000.0, seed=0
+    )
+    rows = []
+    base = None
+    for num_replicas in (1, 2, 4, 8):
+        router = ReplicaRouter.homogeneous(
+            lambda: ServingEngine(system=system, max_batch_size=16, step_stride=8),
+            num_replicas,
+            policy=RoundRobinRouting(),
+        )
+        fleet = router.run(trace, system_name="CENT+PIMphony")
+        throughput = fleet.aggregate_throughput_tokens_per_s
+        if base is None:
+            base = throughput
+        rows.append([num_replicas, throughput, throughput / base, fleet.makespan_s])
+    print()
+    print(
+        format_table(
+            ["replicas", "tokens/s", "speedup", "makespan s"],
+            rows,
+            title="Replica scaling: 192 requests, Poisson arrivals at 2000 req/s",
+        )
+    )
+
+
+def routing_policy_comparison(model) -> None:
+    # Two modules per replica: KV capacity fits only ~4 concurrent
+    # 8k-context reservations, so the routing decision is what determines
+    # whether heavy requests queue.
+    system = cent_system_config(model, num_modules=2, pimphony=PIMphonyConfig.full())
+    requests = tuple(
+        Request(
+            request_id=index,
+            prompt_tokens=8192 if index % 4 == 0 else 256,
+            output_tokens=32,
+        )
+        for index in range(64)
+    )
+    trace = RequestTrace(dataset="skewed", requests=requests)
+    for policy in (RoundRobinRouting(), LeastOutstandingRouting(), CapacityAwareRouting()):
+        router = ReplicaRouter.homogeneous(
+            lambda: ServingEngine(system=system, step_stride=8), 4, policy=policy
+        )
+        fleet = router.run(trace, system_name="CENT-2mod")
+        print()
+        print(
+            fleet_summary_table(
+                fleet,
+                title=f"Skewed contexts (every 4th request 8k tokens) under {policy.name}",
+            )
+        )
+
+
+def prefill_ttft(model, system) -> None:
+    prefill_model = prefill_model_for(system)
+    rows = []
+    for prompt in (128, 1024, 4096):
+        trace = RequestTrace(
+            dataset="single",
+            requests=(Request(request_id=0, prompt_tokens=prompt, output_tokens=8),),
+        )
+        no_prefill = serve(system, trace)
+        blocking = serve(system, trace, prefill=PrefillConfig(prefill_model))
+        chunked = serve(
+            system, trace, prefill=PrefillConfig(prefill_model, chunk_tokens=512)
+        )
+        rows.append(
+            [
+                prompt,
+                no_prefill.ttft_mean_s * 1e3,
+                blocking.ttft_mean_s * 1e3,
+                chunked.ttft_mean_s * 1e3,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["prompt tokens", "no prefill (ms)", "blocking (ms)", "chunked (ms)"],
+            rows,
+            title="TTFT vs prompt length: context-blind vs prefill-aware",
+        )
+    )
+
+
+def main() -> None:
+    model = get_model("LLM-7B-32K")
+    system = cent_system_config(model, pimphony=PIMphonyConfig.full())
+    print(f"Routing {model.name} across data-parallel CENT-class PIM replicas")
+    replica_scaling(model, system)
+    routing_policy_comparison(model)
+    prefill_ttft(model, system)
+
+
+if __name__ == "__main__":
+    main()

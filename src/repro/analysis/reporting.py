@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.serving.engine import EngineResult
+    from repro.serving.router import FleetResult
 
 
 def format_table(
@@ -92,6 +93,50 @@ def serving_summary_table(results: Sequence["EngineResult"], title: str = "") ->
         "TPOT ms",
         "p50 ms",
         "p95 ms",
+        "p99 ms",
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def fleet_summary_table(fleet: "FleetResult", title: str = "") -> str:
+    """Render per-replica rows plus the merged fleet row of a routed run.
+
+    Replica rows report each engine's own counters; the fleet row reports
+    the merged view -- aggregate tokens per wall-clock second (tokens over
+    the slowest replica's makespan) and percentiles recomputed over the
+    union of request records.
+    """
+    rows = []
+    for index, result in enumerate(fleet.replica_results):
+        rows.append(
+            [
+                f"replica {index}",
+                result.requests_served,
+                result.requests_dropped,
+                result.throughput_tokens_per_s,
+                result.makespan_s,
+                result.latency.ttft_p95_s * 1e3,
+                result.latency.latency_p99_s * 1e3,
+            ]
+        )
+    rows.append(
+        [
+            f"fleet ({fleet.policy})",
+            fleet.requests_served,
+            fleet.requests_dropped,
+            fleet.aggregate_throughput_tokens_per_s,
+            fleet.makespan_s,
+            fleet.latency.ttft_p95_s * 1e3,
+            fleet.latency.latency_p99_s * 1e3,
+        ]
+    )
+    headers = [
+        "replica",
+        "served",
+        "dropped",
+        "tokens/s",
+        "makespan s",
+        "TTFT p95 ms",
         "p99 ms",
     ]
     return format_table(headers, rows, title=title)

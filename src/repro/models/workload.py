@@ -233,7 +233,9 @@ def build_decode_workload(
 
         ops.append(_fc_operator(f"{prefix}.out_proj", model.d_model, model.d_model, batch, dtype))
         if model.gated_ffn:
-            ops.append(_fc_operator(f"{prefix}.ffn_gate", model.d_model, model.ffn_dim, batch, dtype))
+            ops.append(
+                _fc_operator(f"{prefix}.ffn_gate", model.d_model, model.ffn_dim, batch, dtype)
+            )
         ops.append(_fc_operator(f"{prefix}.ffn_up", model.d_model, model.ffn_dim, batch, dtype))
         ops.append(_fc_operator(f"{prefix}.ffn_down", model.ffn_dim, model.d_model, batch, dtype))
     return workload

@@ -2,10 +2,15 @@
 
 Layering, from the outside in:
 
+* :mod:`repro.serving.router` -- the data-parallel :class:`ReplicaRouter`
+  fronting N engines with pluggable :class:`RoutingPolicy` implementations
+  and merged :class:`FleetResult` metrics.
 * :mod:`repro.serving.admission` -- pluggable :class:`AdmissionPolicy`
   implementations (FCFS, capacity-aware, priority).
 * :mod:`repro.serving.engine` -- the :class:`ServingEngine` event loop
   consuming timestamped arrivals.
+* :mod:`repro.serving.prefill` -- context-length-dependent prefill cost
+  models (blocking or chunked) that make TTFT reflect prompt length.
 * :mod:`repro.serving.interfaces` -- the :class:`DecodeSystem` and
   :class:`KVAllocator` protocols plus result types.
 * :mod:`repro.serving.lifecycle` -- per-request TTFT/TPOT/latency tracking.
@@ -31,6 +36,25 @@ from repro.serving.interfaces import (
 )
 from repro.serving.latency_cache import StepLatencyCache
 from repro.serving.lifecycle import LatencyStats, LifecycleTracker, RequestRecord, percentile
+from repro.serving.prefill import (
+    LinearPrefillModel,
+    PrefillConfig,
+    PrefillModel,
+    SupportsPrefill,
+    SystemPrefillModel,
+    prefill_model_for,
+    transformer_prefill_flops,
+)
+from repro.serving.router import (
+    CapacityAwareRouting,
+    FleetResult,
+    LeastOutstandingRouting,
+    ReplicaRouter,
+    ReplicaState,
+    RoundRobinRouting,
+    RoutingPolicy,
+    SessionAffinityRouting,
+)
 
 __all__ = [
     "AdmissionCandidate",
@@ -52,4 +76,19 @@ __all__ = [
     "LifecycleTracker",
     "RequestRecord",
     "percentile",
+    "LinearPrefillModel",
+    "PrefillConfig",
+    "PrefillModel",
+    "SupportsPrefill",
+    "SystemPrefillModel",
+    "prefill_model_for",
+    "transformer_prefill_flops",
+    "CapacityAwareRouting",
+    "FleetResult",
+    "LeastOutstandingRouting",
+    "ReplicaRouter",
+    "ReplicaState",
+    "RoundRobinRouting",
+    "RoutingPolicy",
+    "SessionAffinityRouting",
 ]

@@ -100,7 +100,11 @@ class CapacityAwareAdmission:
     def order(self, waiting: Sequence[AdmissionCandidate]) -> Sequence[AdmissionCandidate]:
         return sorted(
             waiting,
-            key=lambda candidate: (candidate.final_tokens, candidate.arrival_s, candidate.request_id),
+            key=lambda candidate: (
+                candidate.final_tokens,
+                candidate.arrival_s,
+                candidate.request_id,
+            ),
         )
 
 

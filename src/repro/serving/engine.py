@@ -15,6 +15,12 @@ decoupled layers:
    yielding TTFT / TPOT and latency percentiles on top of the legacy
    throughput counters.
 
+An optional :class:`~repro.serving.prefill.PrefillConfig` charges
+context-length-dependent prompt-processing latency at admission, either
+blocking (the request decodes only after its whole prefill elapses) or
+chunked (prefill interleaves with decode steps on the same hardware), so
+TTFT reflects prompt length instead of just queueing plus one decode step.
+
 A trace whose requests all arrive at time 0 and fit the context window
 (``prompt + output <= max_context_tokens``) served under FCFS reproduces
 the legacy loop's arithmetic exactly (same admissions, same strides, same
@@ -40,6 +46,7 @@ from repro.serving.interfaces import (
 )
 from repro.serving.latency_cache import StepLatencyCache
 from repro.serving.lifecycle import LatencyStats, LifecycleTracker, RequestRecord
+from repro.serving.prefill import PrefillConfig
 from repro.workloads.traces import RequestTrace
 
 
@@ -58,6 +65,8 @@ class EngineResult(ServingResult):
     latency: LatencyStats = field(default_factory=LatencyStats)
     request_records: tuple[RequestRecord, ...] = ()
     requests_dropped: int = 0
+    prefill_mode: str = "none"
+    prefill_seconds_total: float = 0.0
 
     @property
     def ttft_mean_s(self) -> float:
@@ -85,6 +94,14 @@ class _ActiveRequest:
     request_id: int
     context: int
     remaining: int
+    #: Blocking prefill: earliest clock at which the request may decode.
+    ready_s: float = 0.0
+    #: Chunked prefill: prompt tokens that must be prefilled before decode.
+    prefill_total: int = 0
+    prefill_done: int = 0
+
+    def decode_ready(self, clock: float) -> bool:
+        return self.ready_s <= clock and self.prefill_done >= self.prefill_total
 
 
 @dataclass
@@ -100,6 +117,9 @@ class ServingEngine:
             negligible error.
         latency_cache: Optional memoisation of decode-step latencies; leave
             ``None`` for exact per-step evaluation.
+        prefill: Optional prefill cost model and charging discipline (see
+            :mod:`repro.serving.prefill`).  ``None`` keeps the legacy
+            behaviour of free prompt processing, which the parity tests pin.
     """
 
     system: DecodeSystem
@@ -107,6 +127,7 @@ class ServingEngine:
     max_batch_size: int | None = None
     step_stride: int = 1
     latency_cache: StepLatencyCache | None = None
+    prefill: PrefillConfig | None = None
 
     def __post_init__(self) -> None:
         if self.step_stride < 1:
@@ -151,11 +172,25 @@ class ServingEngine:
                 allocator.reserve(
                     candidate.request_id, candidate.prompt_tokens, candidate.final_tokens
                 )
-                active[candidate.request_id] = _ActiveRequest(
+                entry = _ActiveRequest(
                     request_id=candidate.request_id,
                     context=candidate.prompt_tokens,
                     remaining=candidate.decode_tokens,
                 )
+                if self.prefill is not None:
+                    if self.prefill.chunk_tokens is None:
+                        # Blocking: the whole prompt is charged now and the
+                        # request decodes only once its prefill elapses
+                        # (prefill runs on a dedicated path, in parallel
+                        # with ongoing decode).
+                        seconds = self.prefill.model.cumulative_seconds(candidate.prompt_tokens)
+                        entry.ready_s = clock + seconds
+                        tracker.on_prefill(candidate.request_id, seconds)
+                    else:
+                        # Chunked: prefill shares the decode hardware and is
+                        # advanced chunk-by-chunk by the main loop.
+                        entry.prefill_total = candidate.prompt_tokens
+                active[candidate.request_id] = entry
                 tracker.on_admission(candidate.request_id, clock)
                 admitted.add(candidate.request_id)
             elif self.admission.head_of_line:
@@ -252,20 +287,76 @@ class ServingEngine:
                     continue
                 break
 
-            stride = min(self.step_stride, min(entry.remaining for entry in active.values()))
-            contexts = [entry.context for entry in active.values()]
+            # Chunked prefill: advance at most chunk_tokens of waiting
+            # prompt work this iteration, charging the marginal cumulative
+            # cost (exact even for attention-quadratic models).
+            prefill_step_seconds = 0.0
+            prefill_tokens_processed = 0
+            if self.prefill is not None and self.prefill.chunk_tokens is not None:
+                budget = self.prefill.chunk_tokens
+                for entry in active.values():
+                    if budget <= 0:
+                        break
+                    pending = entry.prefill_total - entry.prefill_done
+                    if pending <= 0:
+                        continue
+                    take = min(pending, budget)
+                    marginal = self.prefill.model.cumulative_seconds(
+                        entry.prefill_done + take
+                    ) - self.prefill.model.cumulative_seconds(entry.prefill_done)
+                    entry.prefill_done += take
+                    budget -= take
+                    prefill_step_seconds += marginal
+                    prefill_tokens_processed += take
+                    tracker.on_prefill(entry.request_id, marginal)
+
+            if self.prefill is None:
+                decoding = list(active.values())
+            else:
+                decoding = [entry for entry in active.values() if entry.decode_ready(clock)]
+
+            if not decoding:
+                if prefill_tokens_processed > 0:
+                    # Chunked-prefill-only iteration: the hardware is busy
+                    # prefilling even though nothing decodes yet.  (Token
+                    # progress, not seconds, gates this branch so a
+                    # zero-cost model still terminates.)
+                    busy_seconds += prefill_step_seconds
+                    clock += prefill_step_seconds
+                    continue
+                # Blocking prefill: every active request is still
+                # prefilling.  Jump to the next event -- a prefill
+                # completing or a new arrival (whichever is sooner), both
+                # strictly in the future.  The decode path idles meanwhile.
+                next_event = min(entry.ready_s for entry in active.values())
+                if future:
+                    next_event = min(next_event, future[0].arrival_s)
+                idle_seconds += next_event - clock
+                clock = next_event
+                continue
+
+            if prefill_tokens_processed:
+                # While prompt work is pending, decode and prefill must
+                # advance at the same granularity: one chunk per decode
+                # step.  A larger stride would let the decode clock run
+                # step_stride steps per chunk, making prefill throughput
+                # (and TTFT) depend on the accuracy knob.
+                stride = 1
+            else:
+                stride = min(self.step_stride, min(entry.remaining for entry in decoding))
+            contexts = [entry.context for entry in decoding]
             if self.latency_cache is not None:
                 step = self.latency_cache.evaluate(self.system, contexts)
             else:
                 step = self.system.decode_step(contexts)
 
-            busy_seconds += step.seconds * stride
-            clock += step.seconds * stride
-            total_tokens += len(active) * stride
+            busy_seconds += step.seconds * stride + prefill_step_seconds
+            clock += step.seconds * stride + prefill_step_seconds
+            total_tokens += len(decoding) * stride
             steps += stride
-            batch_samples.append(len(active))
+            batch_samples.append(len(decoding))
             utilization_samples.append(step.pim_utilization)
-            peak_batch = max(peak_batch, len(active))
+            peak_batch = max(peak_batch, len(decoding))
             attention_total = attention_total + step.attention_breakdown.scaled(stride)
             fc_total = fc_total + step.fc_breakdown.scaled(stride)
             if allocator.capacity_bytes > 0:
@@ -276,7 +367,7 @@ class ServingEngine:
                 capacity_samples.append(allocator.used_bytes / allocator.capacity_bytes)
 
             finished: list[int] = []
-            for entry in active.values():
+            for entry in decoding:
                 allocator.append_token(entry.request_id, stride)
                 entry.context += stride
                 entry.remaining -= stride
@@ -332,6 +423,10 @@ class ServingEngine:
                 tracker.records[key] for key in sorted(tracker.records)
             ),
             requests_dropped=len(dropped),
+            prefill_mode=self.prefill.mode if self.prefill is not None else "none",
+            prefill_seconds_total=sum(
+                record.prefill_s for record in tracker.records.values()
+            ),
         )
 
 
@@ -342,6 +437,7 @@ def serve(
     max_batch_size: int | None = None,
     step_stride: int = 1,
     latency_cache: StepLatencyCache | None = None,
+    prefill: PrefillConfig | None = None,
     system_name: str = "",
 ) -> EngineResult:
     """One-shot convenience wrapper around :class:`ServingEngine`."""
@@ -351,5 +447,6 @@ def serve(
         max_batch_size=max_batch_size,
         step_stride=step_stride,
         latency_cache=latency_cache,
+        prefill=prefill,
     )
     return engine.run(trace, system_name=system_name)

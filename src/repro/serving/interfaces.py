@@ -20,6 +20,17 @@ from typing import Protocol, Sequence, runtime_checkable
 from repro.memory.chunked_alloc import ChunkedAllocator
 from repro.memory.static_alloc import StaticAllocator
 from repro.pim.simulator import CycleBreakdown, ZERO_BREAKDOWN
+from repro.serving.prefill import SupportsPrefill
+
+__all__ = [
+    "StepResult",
+    "DecodeSystem",
+    "SupportsPrefill",
+    "KVAllocator",
+    "build_allocator",
+    "allocator_for",
+    "ServingResult",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +70,12 @@ class DecodeSystem(Protocol):
     def total_pim_channels(self) -> int: ...
 
     def decode_step(self, context_lengths: Sequence[int]) -> StepResult: ...
+
+    # Systems that can price their own prompt-processing phase additionally
+    # implement ``prefill_seconds(prompt_tokens) -> float`` (see
+    # :class:`~repro.serving.prefill.SupportsPrefill`);
+    # :func:`~repro.serving.prefill.prefill_model_for` adapts them into the
+    # engine's :class:`~repro.serving.prefill.PrefillModel`.
 
 
 @runtime_checkable

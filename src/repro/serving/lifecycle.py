@@ -32,6 +32,7 @@ class RequestRecord:
     first_token_s: float = math.nan
     finish_s: float = math.nan
     generated: int = 0
+    prefill_s: float = 0.0
 
     @property
     def finished(self) -> bool:
@@ -75,12 +76,24 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Aggregated per-request latency metrics of one serving run."""
+    """Aggregated per-request latency metrics of one serving run.
+
+    The p50/p95/p99 triple is reported for TTFT, TPOT and end-to-end
+    latency so fleet-level merges (see
+    :class:`~repro.serving.router.FleetResult`) can expose the same
+    percentile surface a single replica does.
+    """
 
     ttft_mean_s: float = 0.0
+    ttft_p50_s: float = 0.0
     ttft_p95_s: float = 0.0
+    ttft_p99_s: float = 0.0
     tpot_mean_s: float = 0.0
+    tpot_p50_s: float = 0.0
+    tpot_p95_s: float = 0.0
+    tpot_p99_s: float = 0.0
     queue_delay_mean_s: float = 0.0
+    prefill_mean_s: float = 0.0
     latency_p50_s: float = 0.0
     latency_p95_s: float = 0.0
     latency_p99_s: float = 0.0
@@ -91,12 +104,19 @@ class LatencyStats:
         if not finished:
             return LatencyStats()
         ttfts = [record.ttft_s for record in finished]
+        tpots = [record.tpot_s for record in finished]
         latencies = [record.latency_s for record in finished]
         return LatencyStats(
             ttft_mean_s=sum(ttfts) / len(finished),
+            ttft_p50_s=percentile(ttfts, 0.50),
             ttft_p95_s=percentile(ttfts, 0.95),
-            tpot_mean_s=sum(record.tpot_s for record in finished) / len(finished),
+            ttft_p99_s=percentile(ttfts, 0.99),
+            tpot_mean_s=sum(tpots) / len(finished),
+            tpot_p50_s=percentile(tpots, 0.50),
+            tpot_p95_s=percentile(tpots, 0.95),
+            tpot_p99_s=percentile(tpots, 0.99),
             queue_delay_mean_s=sum(record.queue_delay_s for record in finished) / len(finished),
+            prefill_mean_s=sum(record.prefill_s for record in finished) / len(finished),
             latency_p50_s=percentile(latencies, 0.50),
             latency_p95_s=percentile(latencies, 0.95),
             latency_p99_s=percentile(latencies, 0.99),
@@ -124,7 +144,13 @@ class LifecycleTracker:
     def on_admission(self, request_id: int, now_s: float) -> None:
         self.records[request_id].admitted_s = now_s
 
-    def on_tokens(self, request_id: int, count: int, step_end_s: float, step_seconds: float) -> None:
+    def on_prefill(self, request_id: int, seconds: float) -> None:
+        """Accumulate prefill work charged to a request (one or more chunks)."""
+        self.records[request_id].prefill_s += seconds
+
+    def on_tokens(
+        self, request_id: int, count: int, step_end_s: float, step_seconds: float
+    ) -> None:
         """Record ``count`` tokens generated in a stride ending at ``step_end_s``.
 
         The first token of a request completes one decode step into its

@@ -1,0 +1,388 @@
+"""Data-parallel replica router: one front door over N serving engines.
+
+A :class:`ReplicaRouter` fronts independent
+:class:`~repro.serving.engine.ServingEngine` replicas behind the same
+timestamped-arrival interface the single engine exposes.  Routing happens
+the way a real L7 router does it -- online, in arrival order, on the
+router's *local* view of each replica (outstanding requests, reserved KV
+bytes via a shadow allocator, estimated completion times) -- and the
+replicas are then served faithfully on their assigned sub-traces.  The
+dispatch pass is a single sweep over arrivals, so no policy can livelock
+the router: a request is either assigned to a replica or dropped.
+
+Routing policies implement :class:`RoutingPolicy`:
+
+* :class:`RoundRobinRouting` -- cycle through replicas, state-blind.
+* :class:`LeastOutstandingRouting` -- fewest in-flight requests, ties
+  broken deterministically by lowest replica index.
+* :class:`CapacityAwareRouting` -- prefer replicas whose shadow
+  :class:`~repro.serving.interfaces.KVAllocator` ``can_admit`` the request
+  now, balancing reserved KV tokens; requests no replica could *ever* fit
+  are dropped at the router instead of wedging a replica queue.
+* :class:`SessionAffinityRouting` -- requests sharing a
+  :attr:`~repro.workloads.traces.Request.session` id stick to the replica
+  that saw the session first (their KV prefix lives there).
+
+Fleet-level metrics merge the per-replica results:
+:class:`FleetResult` recomputes TTFT/TPOT/latency percentiles over the
+*union* of request records (so an N=1 fleet reports exactly the single
+engine's percentiles) and reports aggregate throughput as total tokens
+over the fleet makespan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.serving.engine import EngineResult, ServingEngine
+from repro.serving.interfaces import KVAllocator, allocator_for
+from repro.serving.lifecycle import LatencyStats, RequestRecord
+from repro.workloads.traces import Request, RequestTrace, partition_trace
+
+#: Context length used to probe each replica's decode-step latency once at
+#: dispatch time; the probe seeds the router's service-time estimate.
+DEFAULT_PROBE_CONTEXT_TOKENS = 1024
+
+
+class ReplicaState:
+    """The router's local view of one replica, updated as it dispatches.
+
+    The router does not see the future: completion times are *estimates*
+    (decode tokens times a probed step latency, plus the replica's prefill
+    model when it has one).  The shadow allocator mirrors what the replica
+    would reserve, which is what ``can_admit``-based routing consults.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        engine: ServingEngine,
+        probe_context_tokens: int = DEFAULT_PROBE_CONTEXT_TOKENS,
+    ) -> None:
+        self.index = index
+        self.engine = engine
+        self.system = engine.system
+        self.shadow: KVAllocator = allocator_for(self.system)
+        # A never-mutated allocator answers "could this request *ever* be
+        # admitted on an empty replica?" without re-deriving capacity math.
+        self._pristine: KVAllocator = allocator_for(self.system)
+        probe = max(1, min(probe_context_tokens, self.system.max_context_tokens))
+        self.est_step_s = self.system.decode_step([probe]).seconds
+        self.outstanding = 0
+        self.reserved_tokens = 0
+        self._completions: list[tuple[float, int]] = []
+        self._assigned: dict[int, tuple[int, bool]] = {}
+
+    def _clamped_final_tokens(self, request: Request) -> int:
+        return min(request.final_context, self.system.max_context_tokens)
+
+    def can_admit(self, request: Request) -> bool:
+        """Whether the shadow allocator accepts the request right now."""
+        return self.shadow.can_admit(self._clamped_final_tokens(request))
+
+    def could_ever_admit(self, request: Request) -> bool:
+        """Whether an empty replica could admit the request at all."""
+        return self._pristine.can_admit(self._clamped_final_tokens(request))
+
+    def estimated_service_s(self, request: Request) -> float:
+        estimate = self.est_step_s * max(1, request.output_tokens)
+        prefill = self.engine.prefill
+        if prefill is not None:
+            prompt = min(request.prompt_tokens, self.system.max_context_tokens)
+            estimate += prefill.model.cumulative_seconds(prompt)
+        return estimate
+
+    def assign(self, request: Request, now_s: float) -> None:
+        """Record a dispatch: bump load counters and book a completion."""
+        tokens = self._clamped_final_tokens(request)
+        in_shadow = self.shadow.can_admit(tokens)
+        if in_shadow:
+            self.shadow.reserve(request.request_id, tokens, tokens)
+        self._assigned[request.request_id] = (tokens, in_shadow)
+        self.outstanding += 1
+        self.reserved_tokens += tokens
+        finish = now_s + self.estimated_service_s(request)
+        heapq.heappush(self._completions, (finish, request.request_id))
+
+    def drain(self, now_s: float) -> None:
+        """Retire every booked completion estimated to finish by ``now_s``."""
+        while self._completions and self._completions[0][0] <= now_s:
+            _, request_id = heapq.heappop(self._completions)
+            tokens, in_shadow = self._assigned.pop(request_id)
+            if in_shadow:
+                self.shadow.release(request_id)
+            self.outstanding -= 1
+            self.reserved_tokens -= tokens
+
+
+@runtime_checkable
+class RoutingPolicy(Protocol):
+    """Chooses a replica for each request, in arrival order."""
+
+    #: Short policy name used in fleet results and reports.
+    name: str
+
+    def reset(self) -> None:
+        """Clear per-dispatch state; called once at the start of a run."""
+        ...
+
+    def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
+        """Return the replica index for ``request`` or ``None`` to drop it."""
+        ...
+
+
+class RoundRobinRouting:
+    """Cycle through replicas, blind to load and capacity."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
+        choice = self._next % len(replicas)
+        self._next += 1
+        return choice
+
+
+class LeastOutstandingRouting:
+    """Fewest in-flight requests wins; ties go to the lowest replica index."""
+
+    name = "least-outstanding"
+
+    def reset(self) -> None:
+        pass
+
+    def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
+        best = min(replicas, key=lambda state: (state.outstanding, state.index))
+        return best.index
+
+
+class CapacityAwareRouting:
+    """Route by KV capacity through the shadow ``can_admit`` protocol.
+
+    Preference order, each tier balancing reserved KV tokens (then
+    outstanding count, then index, so ties are deterministic):
+
+    1. replicas that can admit the request *now*;
+    2. replicas that could admit it on an empty cache (it will queue);
+    3. nobody can ever fit it: drop at the router (``None``), so a dead or
+       undersized replica never wedges the fleet.
+    """
+
+    name = "capacity-aware"
+
+    def reset(self) -> None:
+        pass
+
+    @staticmethod
+    def _load_key(state: ReplicaState) -> tuple[int, int, int]:
+        return (state.reserved_tokens, state.outstanding, state.index)
+
+    def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
+        admitting = [state for state in replicas if state.can_admit(request)]
+        if admitting:
+            return min(admitting, key=self._load_key).index
+        eventual = [state for state in replicas if state.could_ever_admit(request)]
+        if eventual:
+            return min(eventual, key=self._load_key).index
+        return None
+
+
+class SessionAffinityRouting:
+    """Pin every session to the replica that first served it.
+
+    Requests without a session id (and the first request of each session)
+    are placed by the fallback policy -- least-outstanding unless another
+    is supplied -- so affinity still spreads fresh sessions across the
+    fleet when traces are replayed.
+    """
+
+    name = "session-affinity"
+
+    def __init__(self, fallback: RoutingPolicy | None = None) -> None:
+        self.fallback = fallback if fallback is not None else LeastOutstandingRouting()
+        self._sessions: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._sessions.clear()
+        self.fallback.reset()
+
+    def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
+        if request.session is None:
+            return self.fallback.select(request, replicas)
+        pinned = self._sessions.get(request.session)
+        if pinned is not None and pinned < len(replicas):
+            return pinned
+        choice = self.fallback.select(request, replicas)
+        if choice is not None:
+            self._sessions[request.session] = choice
+        return choice
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Merged metrics of one routed serving run across all replicas.
+
+    Percentiles are recomputed over the union of per-request records, not
+    averaged across replicas, so an N=1 fleet reports exactly what the
+    single engine would.
+    """
+
+    policy: str
+    replica_results: tuple[EngineResult, ...]
+    router_dropped: int
+    latency: LatencyStats
+    request_records: tuple[RequestRecord, ...]
+
+    @staticmethod
+    def from_replicas(
+        policy: str,
+        replica_results: Sequence[EngineResult],
+        router_dropped: int = 0,
+    ) -> "FleetResult":
+        records: list[RequestRecord] = []
+        for result in replica_results:
+            records.extend(result.request_records)
+        records.sort(key=lambda record: record.request_id)
+        return FleetResult(
+            policy=policy,
+            replica_results=tuple(replica_results),
+            router_dropped=router_dropped,
+            latency=LatencyStats.from_records(records),
+            request_records=tuple(records),
+        )
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replica_results)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(result.total_output_tokens for result in self.replica_results)
+
+    @property
+    def requests_served(self) -> int:
+        return sum(result.requests_served for result in self.replica_results)
+
+    @property
+    def requests_dropped(self) -> int:
+        """Drops at replica admission plus drops at the router."""
+        engine_drops = sum(result.requests_dropped for result in self.replica_results)
+        return engine_drops + self.router_dropped
+
+    @property
+    def makespan_s(self) -> float:
+        """Fleet completion time: the slowest replica's makespan."""
+        return max(
+            (result.makespan_s for result in self.replica_results), default=0.0
+        )
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(result.total_seconds for result in self.replica_results)
+
+    @property
+    def aggregate_throughput_tokens_per_s(self) -> float:
+        """Fleet-level tokens per wall-clock second (tokens / makespan)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_output_tokens / self.makespan_s
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean of per-replica busy seconds (1.0 = perfectly even)."""
+        busy = [result.total_seconds for result in self.replica_results]
+        mean = sum(busy) / len(busy) if busy else 0.0
+        if mean <= 0:
+            return 1.0
+        return max(busy) / mean
+
+
+@dataclass
+class ReplicaRouter:
+    """Routes a timestamped trace across N independent serving engines.
+
+    Attributes:
+        replicas: The serving engines fronted by this router (at least one;
+            they may be heterogeneous).
+        policy: Routing policy (default round-robin).
+        probe_context_tokens: Context length used to probe each replica's
+            decode-step latency for the router's service-time estimates.
+    """
+
+    replicas: Sequence[ServingEngine]
+    policy: RoutingPolicy = field(default_factory=RoundRobinRouting)
+    probe_context_tokens: int = DEFAULT_PROBE_CONTEXT_TOKENS
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ValueError("a ReplicaRouter needs at least one replica")
+        if self.probe_context_tokens < 1:
+            raise ValueError("probe_context_tokens must be >= 1")
+
+    @classmethod
+    def homogeneous(
+        cls,
+        engine_factory: Callable[[], ServingEngine],
+        num_replicas: int,
+        policy: RoutingPolicy | None = None,
+        probe_context_tokens: int = DEFAULT_PROBE_CONTEXT_TOKENS,
+    ) -> "ReplicaRouter":
+        """Build a router over ``num_replicas`` identical engines."""
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        return cls(
+            replicas=tuple(engine_factory() for _ in range(num_replicas)),
+            policy=policy if policy is not None else RoundRobinRouting(),
+            probe_context_tokens=probe_context_tokens,
+        )
+
+    def dispatch(self, trace: RequestTrace) -> list[int | None]:
+        """Assign every request to a replica (or ``None``), in arrival order.
+
+        The sweep is stable on arrival time, matching the engine's
+        admission ordering, and visits each request exactly once -- a
+        policy can reject a request but never stall the pass.
+        """
+        states = [
+            ReplicaState(index, engine, self.probe_context_tokens)
+            for index, engine in enumerate(self.replicas)
+        ]
+        self.policy.reset()
+        assignments: list[int | None] = [None] * len(trace.requests)
+        order = sorted(
+            range(len(trace.requests)), key=lambda i: trace.requests[i].arrival_s
+        )
+        for position in order:
+            request = trace.requests[position]
+            now = request.arrival_s
+            for state in states:
+                state.drain(now)
+            choice = self.policy.select(request, states)
+            if choice is None:
+                continue
+            if not 0 <= choice < len(states):
+                raise ValueError(
+                    f"policy {self.policy.name!r} chose replica {choice} for request "
+                    f"{request.request_id}; fleet has {len(states)} replicas"
+                )
+            states[choice].assign(request, now)
+            assignments[position] = choice
+        return assignments
+
+    def run(self, trace: RequestTrace, system_name: str = "") -> FleetResult:
+        """Dispatch ``trace`` and serve every replica's share to completion."""
+        assignments = self.dispatch(trace)
+        subtraces = partition_trace(trace, assignments, len(self.replicas))
+        results = []
+        for index, (engine, subtrace) in enumerate(zip(self.replicas, subtraces)):
+            base = system_name or type(engine.system).__name__
+            results.append(engine.run(subtrace, system_name=f"{base}[replica {index}]"))
+        dropped = sum(1 for assignment in assignments if assignment is None)
+        return FleetResult.from_replicas(self.policy.name, results, router_dropped=dropped)

@@ -123,7 +123,9 @@ def module_attention_time(
 
 #: FC matrices of one decoder layer as (in_dim multiplier, out_dim multiplier)
 #: pairs over (d_model, kv_dim, ffn_dim); resolved per model below.
-def _layer_fc_shapes(d_model: int, kv_dim: int, ffn_dim: int, gated_ffn: bool) -> list[tuple[int, int]]:
+def _layer_fc_shapes(
+    d_model: int, kv_dim: int, ffn_dim: int, gated_ffn: bool
+) -> list[tuple[int, int]]:
     shapes = [
         (d_model, d_model + 2 * kv_dim),  # QKV projection
         (d_model, d_model),  # output projection

@@ -15,10 +15,11 @@ from dataclasses import dataclass, field
 from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig
 from repro.pim.config import PIMModuleConfig, cent_module_config
+from repro.serving.interfaces import StepResult
+from repro.serving.prefill import transformer_prefill_flops
 from repro.system.interconnect import InterconnectConfig
 from repro.system.layers import module_attention_time, module_fc_time
 from repro.system.parallelism import ParallelismPlan
-from repro.serving.interfaces import StepResult
 from repro.system.pipeline import StageCost, pipeline_decode_step
 
 
@@ -139,3 +140,31 @@ class PIMOnlySystem:
             attention_breakdown=step.attention_breakdown.scaled(scale),
             fc_breakdown=step.fc_breakdown.scaled(scale),
         )
+
+    def prefill_seconds(self, prompt_tokens: int) -> float:
+        """Prefill latency on a system with no matrix units.
+
+        The prompt pass runs on whatever non-PIM compute the modules carry
+        (CENT's PNM processor, ``module.compute_tflops``); without one it
+        falls back to the peak all-channel MAC rate.  Either way the rate
+        is orders of magnitude below an xPU's, which is why PIM-only
+        deployments suffer on long prompts.  As in
+        :meth:`~repro.system.xpu_pim.XPUPIMSystem.prefill_seconds`, a
+        single prompt traverses pipeline stages sequentially, so the rate
+        uses the ``tensor_parallel`` width rather than the full module
+        count.
+        """
+        if prompt_tokens <= 0:
+            return 0.0
+        fc_flops, attention_flops = transformer_prefill_flops(self.model, prompt_tokens)
+        if self.module.compute_tflops > 0:
+            per_module_rate = self.module.compute_tflops * 1e12
+        else:
+            seconds_per_cycle = self.module.timing.cycles_to_seconds(1)
+            per_module_rate = self.module.peak_mac_flops_per_cycle / seconds_per_cycle
+        tensor_parallel = self.plan.tensor_parallel
+        compute_rate = tensor_parallel * per_module_rate
+        weight_stream_seconds = self.model.param_bytes / (
+            tensor_parallel * self.module.internal_bandwidth_bytes
+        )
+        return max((fc_flops + attention_flops) / compute_rate, weight_stream_seconds)

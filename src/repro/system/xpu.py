@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.models.llm import LLMConfig
 from repro.serving.interfaces import StepResult
+from repro.serving.prefill import transformer_prefill_flops
 
 
 @dataclass(frozen=True)
@@ -35,7 +36,9 @@ class XPUConfig:
         if not 0 < self.compute_efficiency <= 1:
             raise ValueError("compute_efficiency must be in (0, 1]")
 
-    def gemm_seconds(self, flops: float, weight_bytes: float, activation_bytes: float = 0.0) -> float:
+    def gemm_seconds(
+        self, flops: float, weight_bytes: float, activation_bytes: float = 0.0
+    ) -> float:
         """Roofline time of one batched GEMM."""
         if flops < 0 or weight_bytes < 0 or activation_bytes < 0:
             raise ValueError("flops and byte counts must be non-negative")
@@ -153,3 +156,21 @@ class XPUOnlySystem:
         kv_bytes = sum(contexts) * model.kv_bytes_per_token / self.num_modules
         attention_seconds = kv_bytes / self.xpu.memory_bandwidth_bytes
         return StepResult(seconds=fc_seconds + attention_seconds, pim_utilization=0.0)
+
+    def prefill_seconds(self, prompt_tokens: int) -> float:
+        """Roofline latency of prefilling one ``prompt_tokens``-long prompt.
+
+        Prefill is compute-friendly (one big GEMM per weight matrix), so it
+        runs at the matrix units' effective throughput across all modules,
+        floored by streaming the sharded weights once.
+        """
+        if prompt_tokens <= 0:
+            return 0.0
+        fc_flops, attention_flops = transformer_prefill_flops(self.model, prompt_tokens)
+        compute_rate = (
+            self.num_modules * self.xpu.peak_tflops * 1e12 * self.xpu.compute_efficiency
+        )
+        weight_stream_seconds = self.model.param_bytes / (
+            self.num_modules * self.xpu.memory_bandwidth_bytes
+        )
+        return max((fc_flops + attention_flops) / compute_rate, weight_stream_seconds)

@@ -16,10 +16,11 @@ from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig
 from repro.pim.config import PIMModuleConfig, neupims_module_config
 from repro.pim.simulator import ZERO_BREAKDOWN
+from repro.serving.interfaces import StepResult
+from repro.serving.prefill import transformer_prefill_flops
 from repro.system.interconnect import InterconnectConfig
 from repro.system.layers import module_attention_time
 from repro.system.parallelism import ParallelismPlan
-from repro.serving.interfaces import StepResult
 from repro.system.pipeline import StageCost, pipeline_decode_step
 from repro.system.xpu import XPUConfig, fc_layer_seconds
 
@@ -132,3 +133,26 @@ class XPUPIMSystem:
             attention_breakdown=step.attention_breakdown.scaled(self.plan.tensor_parallel),
             fc_breakdown=ZERO_BREAKDOWN,
         )
+
+    def prefill_seconds(self, prompt_tokens: int) -> float:
+        """Prefill latency: the prompt GEMMs run on the xPUs, not on PIM.
+
+        Prefill is compute bound, which is exactly the regime PIM's GEMV
+        engines are worst at, so the heterogeneous system keeps the whole
+        prompt pass (attention included) on the matrix units.  A single
+        prompt flows through the pipeline stages sequentially (no overlap
+        to exploit), so only the ``tensor_parallel`` modules of a stage
+        work on it at any instant -- the rate uses TP width, not the full
+        module count.
+        """
+        if prompt_tokens <= 0:
+            return 0.0
+        fc_flops, attention_flops = transformer_prefill_flops(self.model, prompt_tokens)
+        tensor_parallel = self.plan.tensor_parallel
+        compute_rate = (
+            tensor_parallel * self.xpu.peak_tflops * 1e12 * self.xpu.compute_efficiency
+        )
+        weight_stream_seconds = self.model.param_bytes / (
+            tensor_parallel * self.xpu.memory_bandwidth_bytes
+        )
+        return max((fc_flops + attention_flops) / compute_rate, weight_stream_seconds)

@@ -24,6 +24,10 @@ class Request:
             which reproduces the legacy closed-loop serving behaviour.
         priority: Scheduling priority (larger is more urgent); only
             consulted by priority-aware admission policies.
+        session: Optional conversation/session id; requests sharing a
+            session id are kept on the same replica by session-affinity
+            routing (their KV prefix lives there).  ``None`` means the
+            request belongs to no session.
     """
 
     request_id: int
@@ -31,6 +35,7 @@ class Request:
     output_tokens: int
     arrival_s: float = 0.0
     priority: int = 0
+    session: int | None = None
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0 or self.output_tokens <= 0:
@@ -161,3 +166,68 @@ def replay_arrivals(trace: RequestTrace, arrival_times: Sequence[float]) -> Requ
         for request, time in zip(trace.requests, arrival_times)
     )
     return RequestTrace(dataset=trace.dataset, requests=requests)
+
+
+def assign_sessions(trace: RequestTrace, session_ids: Sequence[int | None]) -> RequestTrace:
+    """Attach session ids to a trace, positionally (replay-style).
+
+    Args:
+        trace: Trace whose requests receive the session ids.
+        session_ids: One id (or ``None``) per request, e.g. the
+            conversation ids of a replayed production log.
+
+    Returns:
+        A new :class:`RequestTrace` with the given session ids.
+    """
+    if len(session_ids) != len(trace.requests):
+        raise ValueError(
+            f"expected {len(trace.requests)} session ids, got {len(session_ids)}"
+        )
+    requests = tuple(
+        replace(request, session=None if session is None else int(session))
+        for request, session in zip(trace.requests, session_ids)
+    )
+    return RequestTrace(dataset=trace.dataset, requests=requests)
+
+
+def partition_trace(
+    trace: RequestTrace,
+    assignments: Sequence[int | None],
+    num_parts: int,
+) -> list[RequestTrace]:
+    """Split a trace into per-replica sub-traces by routing assignment.
+
+    Requests keep their original ids, arrival times and relative order, so
+    serving each sub-trace independently reproduces exactly what a replica
+    behind a router would see.
+
+    Args:
+        trace: Trace to split.
+        assignments: One replica index per request (positionally); ``None``
+            means the request was dropped at the router and appears in no
+            sub-trace.
+        num_parts: Number of replicas; every non-``None`` assignment must
+            lie in ``[0, num_parts)``.
+
+    Returns:
+        ``num_parts`` traces (possibly empty) sharing the input's dataset.
+    """
+    if num_parts <= 0:
+        raise ValueError("num_parts must be positive")
+    if len(assignments) != len(trace.requests):
+        raise ValueError(
+            f"expected {len(trace.requests)} assignments, got {len(assignments)}"
+        )
+    buckets: list[list[Request]] = [[] for _ in range(num_parts)]
+    for request, assignment in zip(trace.requests, assignments):
+        if assignment is None:
+            continue
+        if not 0 <= assignment < num_parts:
+            raise ValueError(
+                f"assignment {assignment} for request {request.request_id} is outside "
+                f"[0, {num_parts})"
+            )
+        buckets[assignment].append(request)
+    return [
+        RequestTrace(dataset=trace.dataset, requests=tuple(bucket)) for bucket in buckets
+    ]
