@@ -2,41 +2,53 @@
 
 PIMphony's benefit depends on how the model is spread across PIM modules.
 This example sweeps every valid (TP, PP) plan of an 8-module CENT-class
-system for two models, picks the best plan for the baseline and for
-PIMphony, and then scales the module count to show capacity scalability
-(the paper's Fig. 15 and Fig. 17(a) analyses).
+system for two models -- each plan expressed declaratively through
+``parallelism.tensor_parallel`` / ``parallelism.pipeline_parallel`` on an
+:class:`~repro.api.ExperimentSpec` -- picks the best plan for the baseline
+and for PIMphony, and then scales ``system.num_modules`` to show capacity
+scalability (the paper's Fig. 15 and Fig. 17(a) analyses).
 
 Run with:  python examples/design_space_exploration.py
 """
 
 from repro.analysis.reporting import format_table
-from repro.baselines.cent import cent_system_config
-from repro.core.orchestrator import PIMphonyConfig
+from repro.api import ExperimentSpec, ModelSpec, SystemSpec, TraceSpec, run
 from repro.models.llm import get_model
 from repro.system.parallelism import enumerate_plans
-from repro.system.serving import simulate_serving
-from repro.workloads.datasets import get_dataset
-from repro.workloads.traces import generate_trace
 
 
-def throughput(model, trace, plan, config, num_modules):
-    system = cent_system_config(model, num_modules=num_modules, plan=plan, pimphony=config)
-    return simulate_serving(system, trace, step_stride=8).throughput_tokens_per_s
+def base_spec(model_name: str, dataset_name: str, num_requests: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="design-space",
+        model=ModelSpec(name=model_name),
+        system=SystemSpec(kind="pim-only", num_modules=8, pimphony="full"),
+        trace=TraceSpec(
+            source="dataset",
+            dataset=dataset_name,
+            num_requests=num_requests,
+            output_tokens=24,
+        ),
+        seed=0,
+        step_stride=8,
+    )
 
 
 def explore_plans(model_name: str, dataset_name: str, num_modules: int = 8) -> None:
-    model = get_model(model_name)
-    trace = generate_trace(
-        get_dataset(dataset_name),
-        num_requests=16,
-        seed=0,
-        context_window=model.context_window,
-        output_tokens=24,
+    base = base_spec(model_name, dataset_name, num_requests=16).with_overrides(
+        {"system.num_modules": num_modules}
     )
     rows = []
-    for plan in enumerate_plans(num_modules, model):
-        baseline = throughput(model, trace, plan, PIMphonyConfig.baseline(), num_modules)
-        pimphony = throughput(model, trace, plan, PIMphonyConfig.full(), num_modules)
+    for plan in enumerate_plans(num_modules, get_model(model_name)):
+        with_plan = base.with_overrides(
+            {
+                "parallelism.tensor_parallel": plan.tensor_parallel,
+                "parallelism.pipeline_parallel": plan.pipeline_parallel,
+            }
+        )
+        baseline = run(
+            with_plan.with_overrides({"system.pimphony": "baseline"})
+        ).throughput_tokens_per_s
+        pimphony = run(with_plan).throughput_tokens_per_s
         rows.append([str(plan), baseline, pimphony, pimphony / baseline])
     rows.sort(key=lambda row: row[2], reverse=True)
     print()
@@ -51,22 +63,11 @@ def explore_plans(model_name: str, dataset_name: str, num_modules: int = 8) -> N
 
 
 def explore_capacity(model_name: str, dataset_name: str) -> None:
-    model = get_model(model_name)
-    trace = generate_trace(
-        get_dataset(dataset_name),
-        num_requests=24,
-        seed=0,
-        context_window=model.context_window,
-        output_tokens=24,
-    )
+    base = base_spec(model_name, dataset_name, num_requests=24)
     rows = []
     for num_modules in (8, 16, 32, 64):
-        tokens_per_s = simulate_serving(
-            cent_system_config(model, num_modules=num_modules, pimphony=PIMphonyConfig.full()),
-            trace,
-            step_stride=8,
-        ).throughput_tokens_per_s
-        rows.append([num_modules, num_modules * 16, tokens_per_s])
+        report = run(base.with_overrides({"system.num_modules": num_modules}))
+        rows.append([num_modules, num_modules * 16, report.throughput_tokens_per_s])
     print()
     print(
         format_table(

@@ -3,59 +3,71 @@
 This is the scenario the paper's introduction motivates: 100K-class contexts
 where the KV cache dominates memory and attention dominates the decode step.
 The example serves the `multifieldqa` distribution (Table II) on both system
-styles and reports how each PIMphony technique contributes.
+styles -- declaratively, by sweeping ``system.kind`` and ``system.pimphony``
+on one :class:`~repro.api.ExperimentSpec` -- and reports how each PIMphony
+technique contributes.
+
+The same sweep from the command line:
+
+    python -m repro run examples/specs/xpu_pim_long_context.json \
+        --set prefill.mode=none \
+        --sweep system.kind=pim-only,xpu-pim \
+        --sweep system.pimphony=baseline,tcp,tcp+dcs,full
 
 Run with:  python examples/long_context_serving.py
 """
 
 from repro.analysis.reporting import format_table
-from repro.baselines.cent import cent_system_config
-from repro.baselines.neupims import neupims_system_config
-from repro.core.orchestrator import PIMphonyConfig
-from repro.models.llm import get_model
-from repro.system.serving import simulate_serving
-from repro.workloads.datasets import get_dataset
-from repro.workloads.traces import generate_trace
-
-
-def serve(system_factory, model, trace, config):
-    system = system_factory(model, pimphony=config)
-    return simulate_serving(system, trace, step_stride=8)
+from repro.api import ExperimentSpec, ModelSpec, SystemSpec, TraceSpec, build, run, sweep_specs
 
 
 def main() -> None:
-    model = get_model("LLM-7B-128K")
-    dataset = get_dataset("multifieldqa")
-    trace = generate_trace(
-        dataset,
-        num_requests=16,
+    base = ExperimentSpec(
+        name="long-context-serving",
+        model=ModelSpec(name="LLM-7B-128K"),
+        system=SystemSpec(kind="pim-only", pimphony="baseline"),
+        trace=TraceSpec(
+            source="dataset", dataset="multifieldqa", num_requests=16, output_tokens=32
+        ),
         seed=1,
-        context_window=model.context_window,
-        output_tokens=32,
+        step_stride=8,
     )
+    built = build(base)
     print(
-        f"{model.name} on {dataset.name} (LV-Eval): mean prompt "
-        f"{trace.mean_prompt_tokens / 1024:.1f}K tokens, "
-        f"KV cache {model.kv_bytes_per_token / 1024:.0f} KiB per token"
+        f"{built.model.name} on {built.trace.dataset} (LV-Eval): mean prompt "
+        f"{built.trace.mean_prompt_tokens / 1024:.1f}K tokens, "
+        f"KV cache {built.model.kv_bytes_per_token / 1024:.0f} KiB per token"
     )
 
-    for system_name, factory in (
-        ("PIM-only (CENT-class, 8 x 16GB modules)", cent_system_config),
-        ("xPU+PIM (NeuPIMs-class, 4 x 32GB modules)", neupims_system_config),
+    variants = sweep_specs(
+        base,
+        {
+            "system.kind": ["pim-only", "xpu-pim"],
+            "system.pimphony": ["baseline", "tcp", "tcp+dcs", "full"],
+        },
+    )
+    reports = {
+        (overrides["system.kind"], overrides["system.pimphony"]): run(spec)
+        for overrides, spec in variants
+    }
+
+    for kind, title in (
+        ("pim-only", "PIM-only (CENT-class, 8 x 16GB modules)"),
+        ("xpu-pim", "xPU+PIM (NeuPIMs-class, 4 x 32GB modules)"),
     ):
         rows = []
         baseline = None
-        for config in PIMphonyConfig.incremental_sweep():
-            result = serve(factory, model, trace, config)
+        for preset in ("baseline", "tcp", "tcp+dcs", "full"):
+            report = reports[(kind, preset)]
             if baseline is None:
-                baseline = result.throughput_tokens_per_s
+                baseline = report.throughput_tokens_per_s
             rows.append(
                 [
-                    config.label,
-                    result.throughput_tokens_per_s,
-                    result.average_batch_size,
-                    result.average_pim_utilization,
-                    result.throughput_tokens_per_s / baseline,
+                    preset,
+                    report.throughput_tokens_per_s,
+                    report.average_batch_size,
+                    report.average_pim_utilization,
+                    report.throughput_tokens_per_s / baseline,
                 ]
             )
         print()
@@ -63,7 +75,7 @@ def main() -> None:
             format_table(
                 ["config", "tokens/s", "avg batch", "PIM util", "speedup"],
                 rows,
-                title=system_name,
+                title=title,
             )
         )
 

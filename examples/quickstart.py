@@ -1,54 +1,60 @@
 """Quickstart: serve a long-context workload on a PIM system with PIMphony.
 
-This example builds the smallest end-to-end pipeline:
+This example builds the smallest end-to-end pipeline through the
+declarative experiment API:
 
-1. pick an LLM configuration (paper Table I),
-2. generate a request trace from a LongBench-like context distribution,
-3. build a CENT-style PIM-only system with and without PIMphony,
-4. run the decode serving simulation and compare throughput.
+1. describe the experiment as an :class:`~repro.api.ExperimentSpec`
+   (model, system, workload -- all plain data that round-trips to JSON),
+2. sweep the PIMphony feature presets with ``with_overrides``,
+3. run each spec and compare throughput from the unified ``RunReport``.
+
+The same experiment runs from the command line:
+
+    python -m repro run examples/specs/pim_only_qmsum.json \
+        --sweep system.pimphony=baseline,tcp,tcp+dcs,full
 
 Run with:  python examples/quickstart.py
 """
 
 from repro.analysis.reporting import format_table
-from repro.baselines.cent import cent_system_config
-from repro.core.orchestrator import PIMphonyConfig
-from repro.models.llm import get_model
+from repro.api import ExperimentSpec, ModelSpec, SystemSpec, TraceSpec, build, run
 from repro.system.serving import simulate_serving
-from repro.workloads.datasets import get_dataset
-from repro.workloads.traces import generate_trace
 
 
 def main() -> None:
-    model = get_model("LLM-7B-32K")
-    dataset = get_dataset("qmsum")
-    trace = generate_trace(
-        dataset,
-        num_requests=16,
+    base = ExperimentSpec(
+        name="quickstart",
+        model=ModelSpec(name="LLM-7B-32K"),
+        system=SystemSpec(kind="pim-only", pimphony="baseline"),
+        trace=TraceSpec(source="dataset", dataset="qmsum", num_requests=16, output_tokens=32),
         seed=0,
-        context_window=model.context_window,
-        output_tokens=32,
+        step_stride=8,
     )
+    built = build(base)
     print(
-        f"Serving {len(trace)} requests of {dataset.name} "
-        f"(mean prompt {trace.mean_prompt_tokens:.0f} tokens) on {model.name}"
+        f"Serving {len(built.trace)} requests of {built.trace.dataset} "
+        f"(mean prompt {built.trace.mean_prompt_tokens:.0f} tokens) on {built.model.name}"
     )
+
+    # Parity: the spec-driven run reproduces direct construction exactly.
+    direct = simulate_serving(built.system, built.trace, step_stride=8)
+    spec_driven = run(base)
+    assert spec_driven.throughput_tokens_per_s == direct.throughput_tokens_per_s
 
     rows = []
     baseline_throughput = None
-    for config in PIMphonyConfig.incremental_sweep():
-        system = cent_system_config(model, pimphony=config)
-        result = simulate_serving(system, trace, step_stride=8)
+    for preset in ("baseline", "tcp", "tcp+dcs", "full"):
+        report = run(base.with_overrides({"system.pimphony": preset}))
         if baseline_throughput is None:
-            baseline_throughput = result.throughput_tokens_per_s
+            baseline_throughput = report.throughput_tokens_per_s
         rows.append(
             [
-                config.label,
-                result.throughput_tokens_per_s,
-                result.average_batch_size,
-                result.average_pim_utilization,
-                result.average_capacity_utilization,
-                result.throughput_tokens_per_s / baseline_throughput,
+                preset,
+                report.throughput_tokens_per_s,
+                report.average_batch_size,
+                report.average_pim_utilization,
+                report.average_capacity_utilization,
+                report.throughput_tokens_per_s / baseline_throughput,
             ]
         )
 

@@ -1,59 +1,57 @@
 """Event-driven serving engine demo: arrivals, admission policies, cache.
 
-Three things the engine adds over the legacy ``simulate_serving`` loop:
+Three things the engine adds over the legacy ``simulate_serving`` loop,
+all driven through the declarative experiment API:
 
-1. **Open-loop arrivals** -- requests arrive through a Poisson process and
-   the engine reports TTFT / TPOT and end-to-end latency percentiles per
-   admission policy (FCFS, capacity-aware, priority).
+1. **Open-loop arrivals** -- requests arrive through a Poisson process
+   (``trace.arrival = "poisson"``) and every ``RunReport`` carries TTFT /
+   TPOT and end-to-end latency percentiles per admission policy.
 2. **Pluggable admission** -- the same trace served under different
-   policies shows the packing/fairness trade-off.
+   ``admission.policy`` values shows the packing/fairness trade-off
+   (every fourth request is tagged urgent via ``trace.priority_every``).
 3. **Bucketed latency cache** -- a 1k-request sweep evaluated per-step
-   versus through the bucketed decode-step cache, demonstrating the >=5x
+   versus with ``latency_cache_bucket`` set, demonstrating the >=5x
    wall-clock speedup with sub-percent throughput error.
 
 Run with:  python examples/serving_engine_demo.py
 """
 
 import time
-from dataclasses import replace
 
 from repro.analysis.reporting import format_table, serving_summary_table
-from repro.baselines.cent import cent_system_config
-from repro.core.orchestrator import PIMphonyConfig
-from repro.models.llm import get_model
-from repro.serving import (
-    CapacityAwareAdmission,
-    FCFSAdmission,
-    PriorityAdmission,
-    StepLatencyCache,
-    serve,
+from repro.api import (
+    AdmissionSpec,
+    ExperimentSpec,
+    ModelSpec,
+    SystemSpec,
+    TraceSpec,
+    build,
+    run,
 )
-from repro.workloads.datasets import get_dataset
-from repro.workloads.traces import RequestTrace, generate_trace, poisson_arrivals
+from repro.serving import FCFSAdmission, ServingEngine
 
 
-def admission_policy_comparison(model, system) -> None:
-    trace = generate_trace(
-        get_dataset("qmsum"),
-        num_requests=64,
-        seed=0,
-        context_window=model.context_window,
-        output_tokens=32,
+def admission_policy_comparison(base: ExperimentSpec) -> None:
+    spec = base.with_overrides(
+        {
+            "trace.num_requests": 64,
+            "trace.arrival": "poisson",
+            "trace.rate_rps": 40.0,
+            "trace.priority_every": 4,
+            "trace.priority_value": 5,
+        }
     )
-    # Mark every fourth request as urgent so the priority row actually
-    # exercises priority scheduling (generated traces default to 0).
-    trace = RequestTrace(
-        dataset=trace.dataset,
-        requests=tuple(
-            replace(request, priority=5) if index % 4 == 0 else request
-            for index, request in enumerate(trace.requests)
-        ),
-    )
-    open_loop = poisson_arrivals(trace, rate_rps=40.0, seed=0)
+
+    # Parity: the FCFS spec run equals a hand-constructed engine run.
+    built = build(spec)
+    direct = ServingEngine(
+        system=built.system, admission=FCFSAdmission(), step_stride=8
+    ).run(built.trace)
+    assert run(spec).engine_result.latency == direct.latency
+
     results = [
-        serve(system, open_loop, admission=policy, step_stride=8,
-              system_name="CENT+PIMphony")
-        for policy in (FCFSAdmission(), CapacityAwareAdmission(), PriorityAdmission())
+        run(spec.with_overrides({"admission.policy": policy})).engine_result
+        for policy in ("fcfs", "capacity-aware", "priority")
     ]
     print()
     print(
@@ -64,22 +62,18 @@ def admission_policy_comparison(model, system) -> None:
     )
 
 
-def latency_cache_sweep(model, system) -> None:
-    trace = generate_trace(
-        get_dataset("qmsum"),
-        num_requests=1000,
-        seed=1,
-        context_window=model.context_window,
-        output_tokens=64,
+def latency_cache_sweep(base: ExperimentSpec) -> None:
+    spec = base.with_overrides(
+        {"trace.num_requests": 1000, "trace.output_tokens": 64, "seed": 1, "step_stride": 1}
     )
 
     start = time.perf_counter()
-    uncached = serve(system, trace, step_stride=1)
+    uncached = run(spec)
     uncached_wall = time.perf_counter() - start
 
-    cache = StepLatencyCache(bucket_tokens=512)
+    cached_spec = spec.with_overrides({"latency_cache_bucket": 512})
     start = time.perf_counter()
-    cached = serve(system, trace, step_stride=1, latency_cache=cache)
+    cached = run(cached_spec)
     cached_wall = time.perf_counter() - start
 
     speedup = uncached_wall / cached_wall
@@ -99,9 +93,10 @@ def latency_cache_sweep(model, system) -> None:
             title="1k-request sweep: per-step evaluation vs bucketed latency cache",
         )
     )
+    cache_stats = cached.engine_result.metadata["latency_cache"]
     print(
-        f"\ncache: {cache.hits} hits / {cache.misses} misses "
-        f"({cache.hit_rate:.1%} hit rate), "
+        f"\ncache: {cache_stats['hits']} hits / {cache_stats['misses']} misses "
+        f"({cache_stats['hit_rate']:.1%} hit rate), "
         f"wall-clock speedup {speedup:.1f}x, throughput error {error:.3%}"
     )
     if speedup < 5.0:
@@ -114,11 +109,18 @@ def latency_cache_sweep(model, system) -> None:
 
 
 def main() -> None:
-    model = get_model("LLM-7B-32K")
-    system = cent_system_config(model, pimphony=PIMphonyConfig.full())
-    print(f"Serving {model.name} on a CENT-class PIM system with PIMphony")
-    admission_policy_comparison(model, system)
-    latency_cache_sweep(model, system)
+    base = ExperimentSpec(
+        name="serving-engine-demo",
+        model=ModelSpec(name="LLM-7B-32K"),
+        system=SystemSpec(kind="pim-only", pimphony="full"),
+        admission=AdmissionSpec(policy="fcfs"),
+        trace=TraceSpec(source="dataset", dataset="qmsum", output_tokens=32),
+        seed=0,
+        step_stride=8,
+    )
+    print("Serving LLM-7B-32K on a CENT-class PIM system with PIMphony")
+    admission_policy_comparison(base)
+    latency_cache_sweep(base)
 
 
 if __name__ == "__main__":

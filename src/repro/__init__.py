@@ -4,6 +4,10 @@ This package reproduces the system described in *PIMphony: Overcoming
 Bandwidth and Capacity Inefficiency in PIM-Based Long-Context LLM Inference
 System* (HPCA 2026).  It provides:
 
+* ``repro.api`` -- the declarative experiment front door: serializable
+  ``ExperimentSpec``s, string-keyed component registries, a ``build``/
+  ``run`` composer returning unified ``RunReport``s, and the
+  ``python -m repro`` CLI.
 * ``repro.models`` -- LLM architectural configurations and decode-step
   workload models (Table I, Fig. 2).
 * ``repro.pim`` / ``repro.dram`` -- a DRAM-PIM hardware substrate with a
@@ -18,37 +22,87 @@ System* (HPCA 2026).  It provides:
 * ``repro.system`` -- multi-node PIM-only and xPU+PIM system models with a
   decode serving loop.
 * ``repro.serving`` -- the event-driven serving engine: pluggable admission
-  policies, timestamped arrivals, per-request TTFT/TPOT/percentile metrics
-  and a bucketed decode-step latency cache.
+  policies, timestamped arrivals, per-request TTFT/TPOT/percentile metrics,
+  prefill cost models, a bucketed decode-step latency cache and the
+  data-parallel replica router.
 * ``repro.baselines`` -- CENT-like, NeuPIMs-like, ping-pong buffering and
   GPU (A100 + FlashDecoding + PagedAttention) baselines.
 * ``repro.workloads`` -- LongBench / LV-Eval statistical trace generators.
 * ``repro.analysis`` -- utilisation / breakdown / reporting helpers.
+
+``from repro import *`` exposes exactly the curated surface in ``__all__``:
+the orchestrator facade, model/dataset lookups, the serving engine with its
+admission policies, the replica router with its routing policies, prefill
+configuration, trace helpers, and the declarative experiment API.
 """
 
+# Importing the baselines package self-registers its system kinds ("gpu",
+# and the config factories behind "pim-only"/"xpu-pim") into the
+# experiment registries.
+import repro.baselines  # noqa: F401  (imported for registration side effects)
+from repro.api import (
+    AdmissionSpec,
+    AllocatorSpec,
+    ExperimentSpec,
+    ModelSpec,
+    ParallelismSpec,
+    PrefillSpec,
+    RouterSpec,
+    RunReport,
+    SystemSpec,
+    TraceSpec,
+    build,
+    register_admission_policy,
+    register_prefill_model,
+    register_routing_policy,
+    register_system,
+    register_trace,
+    run,
+    sweep_specs,
+)
 from repro.core.orchestrator import PIMphony, PIMphonyConfig
 from repro.models.llm import LLMConfig, get_model, list_models
 from repro.serving import (
     CapacityAwareAdmission,
+    CapacityAwareRouting,
     EngineResult,
     FCFSAdmission,
+    FleetResult,
+    LeastOutstandingRouting,
+    LinearPrefillModel,
+    PrefillConfig,
     PriorityAdmission,
+    ReplicaRouter,
+    RoundRobinRouting,
     ServingEngine,
+    SessionAffinityRouting,
     StepLatencyCache,
+    prefill_model_for,
     serve,
 )
 from repro.system.serving import ServingResult, simulate_serving
 from repro.workloads.datasets import get_dataset, list_datasets
-from repro.workloads.traces import generate_trace, poisson_arrivals, replay_arrivals
+from repro.workloads.traces import (
+    generate_trace,
+    partition_trace,
+    periodic_priorities,
+    poisson_arrivals,
+    random_sessions,
+    replay_arrivals,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    # orchestrator + models + datasets
     "PIMphony",
     "PIMphonyConfig",
     "LLMConfig",
     "get_model",
     "list_models",
+    "get_dataset",
+    "list_datasets",
+    # serving engine + admission
     "ServingEngine",
     "EngineResult",
     "ServingResult",
@@ -58,10 +112,42 @@ __all__ = [
     "CapacityAwareAdmission",
     "PriorityAdmission",
     "StepLatencyCache",
-    "get_dataset",
-    "list_datasets",
+    # replica router + routing policies
+    "ReplicaRouter",
+    "FleetResult",
+    "RoundRobinRouting",
+    "LeastOutstandingRouting",
+    "CapacityAwareRouting",
+    "SessionAffinityRouting",
+    # prefill
+    "PrefillConfig",
+    "LinearPrefillModel",
+    "prefill_model_for",
+    # traces
     "generate_trace",
     "poisson_arrivals",
     "replay_arrivals",
+    "partition_trace",
+    "random_sessions",
+    "periodic_priorities",
+    # declarative experiment API
+    "ExperimentSpec",
+    "ModelSpec",
+    "SystemSpec",
+    "ParallelismSpec",
+    "AllocatorSpec",
+    "AdmissionSpec",
+    "PrefillSpec",
+    "TraceSpec",
+    "RouterSpec",
+    "RunReport",
+    "build",
+    "run",
+    "sweep_specs",
+    "register_system",
+    "register_admission_policy",
+    "register_routing_policy",
+    "register_prefill_model",
+    "register_trace",
     "__version__",
 ]

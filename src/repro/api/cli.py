@@ -1,0 +1,238 @@
+"""``python -m repro`` -- run declarative experiments from the command line.
+
+Subcommands:
+
+* ``run SPEC.json [--set key=value] [--sweep key=a,b,c] [--format table|json]
+  [--output FILE]`` -- execute one spec, or the cartesian product of the
+  ``--sweep`` axes, and print a table or a JSON report.
+* ``validate SPEC.json [--set key=value]`` -- type/range/registry-key check
+  a spec without running it.
+* ``list [systems|admission|routing|prefill|traces|models|datasets]`` --
+  show the registered component vocabulary specs can name.
+
+``--set`` and ``--sweep`` take dotted paths into the spec
+(``trace.num_requests=64``, ``system.pimphony=baseline,full``); values are
+parsed as JSON when possible (so ``router=null`` and ``true`` work) and
+fall back to plain strings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.api.registry import (
+    ADMISSION_POLICIES,
+    PREFILL_MODELS,
+    ROUTING_POLICIES,
+    SYSTEMS,
+    TRACES,
+)
+from repro.api.spec import ExperimentSpec, apply_override
+
+
+def _parse_value(text: str) -> Any:
+    """JSON literal if it parses, plain string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_assignment(argument: str, flag: str) -> tuple[str, str]:
+    path, separator, value = argument.partition("=")
+    if not separator or not path:
+        raise SystemExit(f"{flag} expects key=value, got {argument!r}")
+    return path, value
+
+
+def _load_spec_dict(path: str) -> dict[str, Any]:
+    if path == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    if not isinstance(data, dict):
+        raise SystemExit(f"spec {path!r} must contain a JSON object")
+    return data
+
+
+def _spec_dict_from_args(args: argparse.Namespace) -> dict[str, Any]:
+    data = _load_spec_dict(args.spec)
+    for assignment in args.set or []:
+        path, raw = _parse_assignment(assignment, "--set")
+        apply_override(data, path, _parse_value(raw))
+    return data
+
+
+def _sweep_axes_from_args(args: argparse.Namespace) -> dict[str, list[Any]]:
+    axes: dict[str, list[Any]] = {}
+    for assignment in args.sweep or []:
+        path, raw = _parse_assignment(assignment, "--sweep")
+        values = [_parse_value(part) for part in raw.split(",") if part != ""]
+        if not values:
+            raise SystemExit(f"--sweep {path} has no values")
+        axes[path] = values
+    return axes
+
+
+def _sweep_table(rows: list[tuple[dict[str, Any], Any]]) -> str:
+    axis_names = list(rows[0][0]) if rows else []
+    headers = axis_names + [
+        "replicas",
+        "served",
+        "dropped",
+        "tokens/s",
+        "agg tokens/s",
+        "TTFT p95 ms",
+        "p99 ms",
+    ]
+    table_rows = []
+    for overrides, report in rows:
+        row = [str(overrides[name]) for name in axis_names]
+        row += [
+            report.num_replicas,
+            report.requests_served,
+            report.requests_dropped,
+            report.throughput_tokens_per_s,
+            report.aggregate_throughput_tokens_per_s,
+            report.ttft_p95_s * 1e3,
+            report.latency_p99_s * 1e3,
+        ]
+        table_rows.append(row)
+    return format_table(headers, table_rows, title="sweep results")
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from repro.api.build import run, sweep_specs
+
+    try:
+        base = _spec_dict_from_args(args)
+        axes = _sweep_axes_from_args(args)
+        expanded = sweep_specs(base, axes)
+        reports = [(overrides, run(spec)) for overrides, spec in expanded]
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if len(reports) == 1 and not axes:
+        payload: dict[str, Any] = reports[0][1].to_dict()
+    else:
+        payload = {
+            "sweep_axes": {path: values for path, values in axes.items()},
+            "runs": [
+                {"overrides": overrides, **report.to_dict()}
+                for overrides, report in reports
+            ],
+        }
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        if len(reports) == 1 and not axes:
+            print(reports[0][1].summary_table())
+        else:
+            print(_sweep_table(reports))
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    try:
+        data = _spec_dict_from_args(args)
+        spec = ExperimentSpec.from_dict(data).validate()
+    except (OSError, ValueError, KeyError) as error:
+        print(f"invalid spec: {error}", file=sys.stderr)
+        return 2
+    print(f"ok: {spec.name} ({spec.spec_hash})")
+    return 0
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    from repro.models.llm import list_models
+    from repro.workloads.datasets import list_datasets
+
+    sections = {
+        "systems": lambda: SYSTEMS.names(),
+        "admission": lambda: ADMISSION_POLICIES.names(),
+        "routing": lambda: ROUTING_POLICIES.names(),
+        "prefill": lambda: PREFILL_MODELS.names(),
+        "traces": lambda: TRACES.names(),
+        "models": list_models,
+        "datasets": list_datasets,
+    }
+    selected = [args.what] if args.what else list(sections)
+    for section in selected:
+        print(f"{section}: {', '.join(sections[section]())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative PIMphony serving experiments from JSON specs.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="execute a spec (or a --sweep over it)")
+    run_parser.add_argument("spec", help="path to an ExperimentSpec JSON file ('-' for stdin)")
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a spec field by dotted path (repeatable)",
+    )
+    run_parser.add_argument(
+        "--sweep",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        help="sweep a spec field over comma-separated values (repeatable; cartesian)",
+    )
+    run_parser.add_argument(
+        "--format", choices=("table", "json"), default="table", help="stdout format"
+    )
+    run_parser.add_argument("--output", metavar="FILE", help="also write the JSON report to FILE")
+    run_parser.set_defaults(handler=_command_run)
+
+    validate_parser = subparsers.add_parser("validate", help="check a spec without running it")
+    validate_parser.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    validate_parser.add_argument(
+        "--set", action="append", metavar="KEY=VALUE", help="override before validating"
+    )
+    validate_parser.set_defaults(handler=_command_validate)
+
+    list_parser = subparsers.add_parser(
+        "list", help="show registered components, models and datasets"
+    )
+    list_parser.add_argument(
+        "what",
+        nargs="?",
+        choices=(
+            "systems",
+            "admission",
+            "routing",
+            "prefill",
+            "traces",
+            "models",
+            "datasets",
+        ),
+        help="restrict to one section",
+    )
+    list_parser.set_defaults(handler=_command_list)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+__all__ = ["build_parser", "main"]

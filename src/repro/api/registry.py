@@ -1,0 +1,119 @@
+"""String-keyed component registries behind the declarative experiment API.
+
+An :class:`~repro.api.spec.ExperimentSpec` names every pluggable piece of an
+experiment -- the system model, the admission policy, the routing policy,
+the prefill model, the trace source -- by a registry key, and
+:func:`~repro.api.build.build` resolves those keys here.  The concrete
+implementations self-register at import time from their defining modules
+(e.g. :mod:`repro.serving.admission` registers ``"fcfs"``), so extending
+the experiment vocabulary is one call:
+
+    from repro.api import register_admission_policy
+
+    class DeadlineAdmission: ...
+
+    register_admission_policy("deadline", DeadlineAdmission)
+
+after which ``{"admission": {"policy": "deadline"}}`` works in any spec.
+
+This module deliberately imports nothing from the rest of :mod:`repro` so
+any component module can depend on it without creating an import cycle.
+
+Registered factory signatures:
+
+* **system** -- ``factory(model, num_modules, plan, pimphony) -> DecodeSystem``
+  (``num_modules`` and ``plan`` may be ``None`` for the kind's defaults).
+* **admission policy** -- ``factory() -> AdmissionPolicy``.
+* **routing policy** -- ``factory() -> RoutingPolicy``.
+* **prefill model** -- ``factory(system, spec: PrefillSpec) -> PrefillModel``.
+* **trace** -- ``factory(spec: TraceSpec, context_window, seed) -> RequestTrace``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+
+class Registry:
+    """A named mapping from string keys to component factories."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable | None = None, *, overwrite: bool = False):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Args:
+            name: Registry key (non-empty string).
+            factory: The component factory; omit to use as a decorator.
+            overwrite: Allow replacing an existing entry (off by default so
+                typos do not silently shadow built-ins).
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{self.kind} registry keys must be non-empty strings")
+
+        def _add(value: Callable) -> Callable:
+            if not callable(value):
+                raise TypeError(f"{self.kind} {name!r} must be registered with a callable")
+            if name in self._entries and not overwrite:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered; "
+                    "pass overwrite=True to replace it"
+                )
+            self._entries[name] = value
+            return value
+
+        if factory is None:
+            return _add
+        return _add(factory)
+
+    def get(self, name: str) -> Callable:
+        """Look up a factory; unknown keys list what *is* registered."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; registered {self.kind} keys: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Sorted registry keys."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+SYSTEMS = Registry("system")
+ADMISSION_POLICIES = Registry("admission policy")
+ROUTING_POLICIES = Registry("routing policy")
+PREFILL_MODELS = Registry("prefill model")
+TRACES = Registry("trace source")
+
+register_system = SYSTEMS.register
+register_admission_policy = ADMISSION_POLICIES.register
+register_routing_policy = ROUTING_POLICIES.register
+register_prefill_model = PREFILL_MODELS.register
+register_trace = TRACES.register
+
+__all__ = [
+    "Registry",
+    "SYSTEMS",
+    "ADMISSION_POLICIES",
+    "ROUTING_POLICIES",
+    "PREFILL_MODELS",
+    "TRACES",
+    "register_system",
+    "register_admission_policy",
+    "register_routing_policy",
+    "register_prefill_model",
+    "register_trace",
+]

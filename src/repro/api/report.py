@@ -1,0 +1,254 @@
+"""The unified result type of the declarative experiment API.
+
+``run(spec)`` always returns a :class:`RunReport`, whether the spec ran a
+single :class:`~repro.serving.engine.ServingEngine` or a multi-replica
+:class:`~repro.serving.router.ReplicaRouter` fleet --
+``ServingResult`` / ``EngineResult`` / ``FleetResult`` become internal
+details behind the :meth:`RunReport.from_engine` and
+:meth:`RunReport.from_fleet` adapters.  Provenance is carried in typed
+fields (``spec``, ``spec_hash``, ``seed``, ``num_replicas``, policy names)
+instead of loose metadata dicts, so downstream tooling reads attributes
+rather than guessing dictionary keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.reporting import fleet_summary_table
+from repro.serving.engine import EngineResult
+from repro.serving.lifecycle import LatencyStats
+from repro.serving.router import FleetResult
+
+if TYPE_CHECKING:
+    from repro.api.spec import ExperimentSpec
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Metrics plus provenance of one executed :class:`ExperimentSpec`.
+
+    Attributes:
+        spec: The exact spec that ran (round-trips to JSON).
+        spec_hash: Short stable hash of the spec's canonical JSON.
+        seed: The experiment seed the trace/arrivals/sessions derive from.
+        num_replicas: Engines that served the trace (1 for engine runs).
+        routing_policy: Router policy name, or ``None`` for engine runs.
+        system_kind: Registry key of the system model.
+        admission_policy: Admission policy name at each engine.
+        prefill_mode: ``"none"`` / ``"blocking"`` / ``"chunked"``.
+        num_requests: Requests in the input trace.
+        requests_served / requests_dropped: Fleet-wide admission outcomes.
+        total_output_tokens: Tokens generated across all replicas.
+        busy_seconds: Summed busy decode time across replicas.
+        makespan_s: Wall-clock completion time (slowest replica).
+        average_batch_size: Step-weighted mean decode batch size.
+        peak_batch_size: Largest batch observed on any replica.
+        average_pim_utilization: Step-weighted mean PIM busy fraction.
+        average_capacity_utilization: Step-weighted mean KV occupancy.
+        load_imbalance: Max-over-mean of per-replica busy seconds.
+        latency: TTFT / TPOT / end-to-end percentile statistics (merged
+            over the union of request records for fleets).
+        replica_results: The underlying per-engine results (escape hatch).
+    """
+
+    spec: "ExperimentSpec"
+    spec_hash: str
+    seed: int
+    num_replicas: int
+    routing_policy: str | None
+    system_kind: str
+    admission_policy: str
+    prefill_mode: str
+    num_requests: int
+    requests_served: int
+    requests_dropped: int
+    total_output_tokens: int
+    busy_seconds: float
+    makespan_s: float
+    average_batch_size: float
+    peak_batch_size: int
+    average_pim_utilization: float
+    average_capacity_utilization: float
+    load_imbalance: float
+    latency: LatencyStats
+    replica_results: tuple[EngineResult, ...] = field(repr=False, compare=False)
+    _fleet: FleetResult | None = field(default=None, repr=False, compare=False)
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Tokens per busy decode second (the single-engine metric)."""
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.total_output_tokens / self.busy_seconds
+
+    @property
+    def aggregate_throughput_tokens_per_s(self) -> float:
+        """Tokens per wall-clock second across the fleet (tokens/makespan)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_output_tokens / self.makespan_s
+
+    @property
+    def ttft_mean_s(self) -> float:
+        return self.latency.ttft_mean_s
+
+    @property
+    def ttft_p95_s(self) -> float:
+        return self.latency.ttft_p95_s
+
+    @property
+    def tpot_mean_s(self) -> float:
+        return self.latency.tpot_mean_s
+
+    @property
+    def latency_p50_s(self) -> float:
+        return self.latency.latency_p50_s
+
+    @property
+    def latency_p95_s(self) -> float:
+        return self.latency.latency_p95_s
+
+    @property
+    def latency_p99_s(self) -> float:
+        return self.latency.latency_p99_s
+
+    # -- adapters -----------------------------------------------------------
+
+    @staticmethod
+    def from_engine(spec: "ExperimentSpec", result: EngineResult) -> "RunReport":
+        """Wrap a single-engine run; metrics are the engine's, verbatim."""
+        return RunReport(
+            spec=spec,
+            spec_hash=spec.spec_hash,
+            seed=spec.seed,
+            num_replicas=1,
+            routing_policy=None,
+            system_kind=spec.system.kind,
+            admission_policy=result.admission_policy,
+            prefill_mode=result.prefill_mode,
+            num_requests=spec.trace.num_requests,
+            requests_served=result.requests_served,
+            requests_dropped=result.requests_dropped,
+            total_output_tokens=result.total_output_tokens,
+            busy_seconds=result.total_seconds,
+            makespan_s=result.makespan_s,
+            average_batch_size=result.average_batch_size,
+            peak_batch_size=result.peak_batch_size,
+            average_pim_utilization=result.average_pim_utilization,
+            average_capacity_utilization=result.average_capacity_utilization,
+            load_imbalance=1.0,
+            latency=result.latency,
+            replica_results=(result,),
+        )
+
+    @staticmethod
+    def from_fleet(spec: "ExperimentSpec", fleet: FleetResult) -> "RunReport":
+        """Wrap a routed fleet run; metrics are the fleet merge, verbatim."""
+        replicas = fleet.replica_results
+        total_steps = sum(result.steps for result in replicas)
+
+        def _step_weighted(metric: str) -> float:
+            if total_steps == 0:
+                return 0.0
+            return (
+                sum(getattr(result, metric) * result.steps for result in replicas)
+                / total_steps
+            )
+
+        return RunReport(
+            spec=spec,
+            spec_hash=spec.spec_hash,
+            seed=spec.seed,
+            num_replicas=fleet.num_replicas,
+            routing_policy=fleet.policy,
+            system_kind=spec.system.kind,
+            admission_policy=replicas[0].admission_policy if replicas else "fcfs",
+            prefill_mode=replicas[0].prefill_mode if replicas else "none",
+            num_requests=spec.trace.num_requests,
+            requests_served=fleet.requests_served,
+            requests_dropped=fleet.requests_dropped,
+            total_output_tokens=fleet.total_output_tokens,
+            busy_seconds=fleet.busy_seconds,
+            makespan_s=fleet.makespan_s,
+            average_batch_size=_step_weighted("average_batch_size"),
+            peak_batch_size=max((result.peak_batch_size for result in replicas), default=0),
+            average_pim_utilization=_step_weighted("average_pim_utilization"),
+            average_capacity_utilization=_step_weighted("average_capacity_utilization"),
+            load_imbalance=fleet.load_imbalance,
+            latency=fleet.latency,
+            replica_results=replicas,
+            _fleet=fleet,
+        )
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def fleet(self) -> FleetResult:
+        """The run as a :class:`FleetResult` (engine runs wrap as N=1)."""
+        if self._fleet is not None:
+            return self._fleet
+        return FleetResult.from_replicas(self.routing_policy or "single", self.replica_results)
+
+    @property
+    def engine_result(self) -> EngineResult:
+        """The single engine's result; raises for multi-replica runs."""
+        if len(self.replica_results) != 1:
+            raise ValueError(
+                f"run has {len(self.replica_results)} replicas; "
+                "use replica_results or fleet instead"
+            )
+        return self.replica_results[0]
+
+    def summary_table(self, title: str = "") -> str:
+        """Render the run with the fleet summary table (N=1 included)."""
+        return fleet_summary_table(self.fleet, title=title or self.spec.name)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation: spec, provenance, metrics, replicas."""
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "seed": self.seed,
+            "num_replicas": self.num_replicas,
+            "routing_policy": self.routing_policy,
+            "system_kind": self.system_kind,
+            "admission_policy": self.admission_policy,
+            "prefill_mode": self.prefill_mode,
+            "metrics": {
+                "num_requests": self.num_requests,
+                "requests_served": self.requests_served,
+                "requests_dropped": self.requests_dropped,
+                "total_output_tokens": self.total_output_tokens,
+                "busy_seconds": self.busy_seconds,
+                "makespan_s": self.makespan_s,
+                "throughput_tokens_per_s": self.throughput_tokens_per_s,
+                "aggregate_throughput_tokens_per_s": self.aggregate_throughput_tokens_per_s,
+                "average_batch_size": self.average_batch_size,
+                "peak_batch_size": self.peak_batch_size,
+                "average_pim_utilization": self.average_pim_utilization,
+                "average_capacity_utilization": self.average_capacity_utilization,
+                "load_imbalance": self.load_imbalance,
+                "latency": dataclasses.asdict(self.latency),
+            },
+            "replicas": [
+                {
+                    "system": result.system_name,
+                    "requests_served": result.requests_served,
+                    "requests_dropped": result.requests_dropped,
+                    "total_output_tokens": result.total_output_tokens,
+                    "throughput_tokens_per_s": result.throughput_tokens_per_s,
+                    "makespan_s": result.makespan_s,
+                    "ttft_p95_ms": result.latency.ttft_p95_s * 1e3,
+                    "latency_p99_ms": result.latency.latency_p99_s * 1e3,
+                }
+                for result in self.replica_results
+            ],
+        }
+
+
+__all__ = ["RunReport"]

@@ -1,0 +1,549 @@
+"""Declarative, serializable experiment specifications.
+
+An :class:`ExperimentSpec` is the single front door to the simulator: it
+names every axis of a serving experiment -- model, system, parallelism,
+allocator mode, admission, prefill, trace, router/replicas, seed -- as
+plain data.  Specs are frozen, compare by value, round-trip through
+``to_dict``/``from_dict`` and JSON, and validate eagerly with field-level
+error messages, so sweeps, CI smoke runs and paper figures can be driven
+from checked-in JSON files instead of hand-wired constructor calls.
+
+Construction-time validation (``__post_init__``) checks types and ranges;
+:meth:`ExperimentSpec.validate` additionally resolves every registry key
+(system kind, admission/routing policy, prefill model, trace source, model
+and dataset names) so a typo fails before anything is built.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.registry import (
+    ADMISSION_POLICIES,
+    PREFILL_MODELS,
+    ROUTING_POLICIES,
+    SYSTEMS,
+    TRACES,
+)
+
+#: PIMphony feature presets accepted by :attr:`SystemSpec.pimphony`
+#: (resolved to :class:`~repro.core.orchestrator.PIMphonyConfig` factories
+#: in :mod:`repro.api.build`).
+PIMPHONY_PRESETS = ("baseline", "tcp", "tcp+dcs", "full")
+
+#: Allocator overrides accepted by :attr:`AllocatorSpec.mode`.
+ALLOCATOR_MODES = ("auto", "static", "paged")
+
+#: Arrival processes accepted by :attr:`TraceSpec.arrival`.
+ARRIVAL_MODES = ("all-at-once", "poisson")
+
+#: Prefill charging disciplines accepted by :attr:`PrefillSpec.mode`.
+PREFILL_MODES = ("none", "blocking", "chunked")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _check_positive_int(value: object, where: str, optional: bool = False) -> None:
+    if value is None and optional:
+        return
+    _require(
+        _is_int(value) and value > 0,
+        f"{where} must be a positive integer"
+        + (" or null" if optional else "")
+        + f", got {value!r}",
+    )
+
+
+def _check_non_negative_int(value: object, where: str) -> None:
+    _require(
+        _is_int(value) and value >= 0,
+        f"{where} must be a non-negative integer, got {value!r}",
+    )
+
+
+def _check_choice(value: object, choices: tuple[str, ...], where: str) -> None:
+    _require(
+        value in choices,
+        f"{where} must be one of {', '.join(repr(c) for c in choices)}, got {value!r}",
+    )
+
+
+def _check_name(value: object, where: str) -> None:
+    _require(
+        isinstance(value, str) and bool(value),
+        f"{where} must be a non-empty string, got {value!r}",
+    )
+
+
+def _check_non_negative_float(value: object, where: str) -> None:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool) and value >= 0,
+        f"{where} must be a non-negative number, got {value!r}",
+    )
+
+
+def _from_mapping(cls, data: Mapping[str, Any], where: str):
+    """Build a sub-spec dataclass from a mapping, rejecting unknown keys."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{where} must be a mapping, got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"{where}: unknown field(s) {', '.join(repr(k) for k in unknown)}; "
+            f"known fields: {', '.join(sorted(known))}"
+        )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Which LLM to serve.
+
+    Attributes:
+        name: A registered model name (see
+            :func:`repro.models.llm.list_models`).
+        context_window: Optional override of the model's context window.
+    """
+
+    name: str = "LLM-7B-32K"
+    context_window: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "model.name")
+        _check_positive_int(self.context_window, "model.context_window", optional=True)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Which hardware system model serves decode.
+
+    Attributes:
+        kind: Registered system kind (``"pim-only"``, ``"xpu-pim"``,
+            ``"xpu-only"``, ``"gpu"``, or anything added via
+            :func:`repro.api.register_system`).
+        num_modules: Module/device count; ``None`` uses the kind's
+            paper-matched default.
+        pimphony: PIMphony feature preset (:data:`PIMPHONY_PRESETS`).
+    """
+
+    kind: str = "pim-only"
+    num_modules: int | None = None
+    pimphony: str = "full"
+
+    def __post_init__(self) -> None:
+        _check_name(self.kind, "system.kind")
+        _check_positive_int(self.num_modules, "system.num_modules", optional=True)
+        _check_choice(self.pimphony, PIMPHONY_PRESETS, "system.pimphony")
+
+
+@dataclass(frozen=True)
+class ParallelismSpec:
+    """(TP, PP) decomposition of the module pool.
+
+    Leaving both ``None`` picks the system kind's default plan (the most
+    tensor-parallel valid factorisation).  Setting them pins the plan; the
+    product must then match ``system.num_modules`` when that is set too.
+    """
+
+    tensor_parallel: int | None = None
+    pipeline_parallel: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_positive_int(self.tensor_parallel, "parallelism.tensor_parallel", optional=True)
+        _check_positive_int(self.pipeline_parallel, "parallelism.pipeline_parallel", optional=True)
+        _require(
+            (self.tensor_parallel is None) == (self.pipeline_parallel is None),
+            "parallelism.tensor_parallel and parallelism.pipeline_parallel must be "
+            "set together (or both left null for the system default)",
+        )
+
+
+@dataclass(frozen=True)
+class AllocatorSpec:
+    """KV-cache allocator mode.
+
+    ``"auto"`` follows the system (PIM systems allocate chunked exactly when
+    the DPA technique is enabled; ``xpu-only``/``gpu`` page by default);
+    ``"static"`` forces ``T_max`` reservations (disabling DPA / paging) and
+    ``"paged"`` forces chunked allocation (enabling them).
+    """
+
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        _check_choice(self.mode, ALLOCATOR_MODES, "allocator.mode")
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """Admission policy and batching limits at each engine.
+
+    Attributes:
+        policy: Registered admission policy key (``"fcfs"``,
+            ``"capacity-aware"``, ``"priority"``, ...).
+        max_batch_size: Optional hard cap on concurrent requests.
+    """
+
+    policy: str = "fcfs"
+    max_batch_size: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_name(self.policy, "admission.policy")
+        _check_positive_int(self.max_batch_size, "admission.max_batch_size", optional=True)
+
+
+@dataclass(frozen=True)
+class PrefillSpec:
+    """How prompt-processing latency is charged.
+
+    Attributes:
+        mode: ``"none"`` (legacy free prefill), ``"blocking"`` or
+            ``"chunked"`` (see :mod:`repro.serving.prefill`).
+        model: Registered prefill model key; ``"system"`` uses the system's
+            own analytic ``prefill_seconds``, ``"linear"`` the closed form
+            below.
+        chunk_tokens: Prompt tokens interleaved per decode step in chunked
+            mode.
+        per_token_s / per_token_sq_s / base_s: Coefficients of the
+            ``"linear"`` model (``base + a*t + b*t^2``).
+    """
+
+    mode: str = "none"
+    model: str = "system"
+    chunk_tokens: int = 512
+    per_token_s: float = 0.0
+    per_token_sq_s: float = 0.0
+    base_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_choice(self.mode, PREFILL_MODES, "prefill.mode")
+        _check_name(self.model, "prefill.model")
+        _check_positive_int(self.chunk_tokens, "prefill.chunk_tokens")
+        _check_non_negative_float(self.per_token_s, "prefill.per_token_s")
+        _check_non_negative_float(self.per_token_sq_s, "prefill.per_token_sq_s")
+        _check_non_negative_float(self.base_s, "prefill.base_s")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """What workload arrives, when, and with which metadata.
+
+    Attributes:
+        source: Registered trace source (``"dataset"`` samples a registered
+            context-length distribution; ``"synthetic"`` builds fixed-shape
+            requests, optionally with every ``heavy_every``-th request
+            promoted to ``heavy_prompt_tokens``).
+        dataset: Dataset name for the ``"dataset"`` source.
+        num_requests: Requests in the trace.
+        output_tokens: Per-request generation length (``None`` uses the
+            dataset default).
+        prompt_tokens: Prompt length for the ``"synthetic"`` source.
+        heavy_every: In the synthetic source, promote every N-th request
+            (0 disables).
+        heavy_prompt_tokens: Prompt length of promoted requests.
+        arrival: ``"all-at-once"`` (closed loop) or ``"poisson"``.
+        rate_rps: Mean Poisson arrival rate (required when poisson).
+        num_sessions: When positive, assign each request a random session
+            id in ``[0, num_sessions)`` (seeded from the experiment seed).
+        priority_every: When positive, mark every N-th request with
+            ``priority_value`` so priority admission has work to do.
+        priority_value: Priority assigned by ``priority_every``.
+    """
+
+    source: str = "dataset"
+    dataset: str = "qmsum"
+    num_requests: int = 16
+    output_tokens: int | None = None
+    prompt_tokens: int = 512
+    heavy_every: int = 0
+    heavy_prompt_tokens: int = 8192
+    arrival: str = "all-at-once"
+    rate_rps: float = 0.0
+    num_sessions: int = 0
+    priority_every: int = 0
+    priority_value: int = 1
+
+    def __post_init__(self) -> None:
+        _check_name(self.source, "trace.source")
+        _check_name(self.dataset, "trace.dataset")
+        _check_positive_int(self.num_requests, "trace.num_requests")
+        _check_positive_int(self.output_tokens, "trace.output_tokens", optional=True)
+        _check_positive_int(self.prompt_tokens, "trace.prompt_tokens")
+        _check_non_negative_int(self.heavy_every, "trace.heavy_every")
+        _check_positive_int(self.heavy_prompt_tokens, "trace.heavy_prompt_tokens")
+        _check_choice(self.arrival, ARRIVAL_MODES, "trace.arrival")
+        _check_non_negative_float(self.rate_rps, "trace.rate_rps")
+        _require(
+            self.arrival != "poisson" or self.rate_rps > 0,
+            "trace.rate_rps must be positive when trace.arrival is 'poisson', "
+            f"got {self.rate_rps!r}",
+        )
+        _check_non_negative_int(self.num_sessions, "trace.num_sessions")
+        _check_non_negative_int(self.priority_every, "trace.priority_every")
+        _require(
+            _is_int(self.priority_value),
+            f"trace.priority_value must be an integer, got {self.priority_value!r}",
+        )
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """Data-parallel fleet shape and routing policy.
+
+    Attributes:
+        replicas: Identical engines behind the router (>= 1).
+        policy: Registered routing policy key (``"round-robin"``,
+            ``"least-outstanding"``, ``"capacity-aware"``,
+            ``"session-affinity"``, ...).
+        probe_context_tokens: Context used to probe per-replica step
+            latency for the router's service-time estimates.
+    """
+
+    replicas: int = 1
+    policy: str = "round-robin"
+    probe_context_tokens: int = 1024
+
+    def __post_init__(self) -> None:
+        _check_positive_int(self.replicas, "router.replicas")
+        _check_name(self.policy, "router.policy")
+        _check_positive_int(self.probe_context_tokens, "router.probe_context_tokens")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One complete, reproducible serving experiment as data.
+
+    ``router=None`` runs a single :class:`~repro.serving.engine.ServingEngine`;
+    a :class:`RouterSpec` runs a :class:`~repro.serving.router.ReplicaRouter`
+    fleet.  Either way :func:`repro.api.run` returns the same
+    :class:`~repro.api.report.RunReport`.
+
+    Attributes:
+        name: Label carried into reports.
+        seed: Single seed threaded through trace generation, the arrival
+            process and session assignment (identical specs reproduce
+            identical traces).
+        step_stride: Decode steps advanced per latency evaluation.
+        latency_cache_bucket: When set, each engine memoises decode-step
+            latencies with this bucket size (tokens).
+    """
+
+    name: str = "experiment"
+    model: ModelSpec = field(default_factory=ModelSpec)
+    system: SystemSpec = field(default_factory=SystemSpec)
+    parallelism: ParallelismSpec = field(default_factory=ParallelismSpec)
+    allocator: AllocatorSpec = field(default_factory=AllocatorSpec)
+    admission: AdmissionSpec = field(default_factory=AdmissionSpec)
+    prefill: PrefillSpec = field(default_factory=PrefillSpec)
+    trace: TraceSpec = field(default_factory=TraceSpec)
+    router: RouterSpec | None = None
+    seed: int = 0
+    step_stride: int = 1
+    latency_cache_bucket: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "name")
+        _require(
+            isinstance(self.model, ModelSpec),
+            f"model must be a ModelSpec, got {type(self.model).__name__}",
+        )
+        _require(
+            isinstance(self.system, SystemSpec),
+            f"system must be a SystemSpec, got {type(self.system).__name__}",
+        )
+        _require(
+            isinstance(self.parallelism, ParallelismSpec),
+            f"parallelism must be a ParallelismSpec, got {type(self.parallelism).__name__}",
+        )
+        _require(
+            isinstance(self.allocator, AllocatorSpec),
+            f"allocator must be an AllocatorSpec, got {type(self.allocator).__name__}",
+        )
+        _require(
+            isinstance(self.admission, AdmissionSpec),
+            f"admission must be an AdmissionSpec, got {type(self.admission).__name__}",
+        )
+        _require(
+            isinstance(self.prefill, PrefillSpec),
+            f"prefill must be a PrefillSpec, got {type(self.prefill).__name__}",
+        )
+        _require(
+            isinstance(self.trace, TraceSpec),
+            f"trace must be a TraceSpec, got {type(self.trace).__name__}",
+        )
+        _require(
+            self.router is None or isinstance(self.router, RouterSpec),
+            f"router must be a RouterSpec or null, got {type(self.router).__name__}",
+        )
+        _require(
+            _is_int(self.seed) and self.seed >= 0,
+            f"seed must be a non-negative integer, got {self.seed!r}",
+        )
+        _check_positive_int(self.step_stride, "step_stride")
+        _check_positive_int(self.latency_cache_bucket, "latency_cache_bucket", optional=True)
+        if self.system.num_modules is not None and self.parallelism.tensor_parallel is not None:
+            product = self.parallelism.tensor_parallel * self.parallelism.pipeline_parallel
+            _require(
+                product == self.system.num_modules,
+                f"parallelism TP{self.parallelism.tensor_parallel} x "
+                f"PP{self.parallelism.pipeline_parallel} covers {product} modules "
+                f"but system.num_modules is {self.system.num_modules}",
+            )
+
+    # -- registry-key validation -------------------------------------------
+
+    def validate(self) -> "ExperimentSpec":
+        """Resolve every registry key, failing fast with the field path.
+
+        Returns ``self`` so it chains: ``run(spec.validate())``.
+
+        Raises:
+            ValueError: naming the offending field and the registered keys.
+        """
+        from repro.models.llm import list_models
+        from repro.workloads.datasets import list_datasets
+
+        def _check_key(registry, key: str, where: str) -> None:
+            if key not in registry:
+                known = ", ".join(registry.names()) or "<none>"
+                raise ValueError(
+                    f"{where}: unknown {registry.kind} {key!r}; "
+                    f"registered keys: {known}"
+                )
+
+        _check_key(SYSTEMS, self.system.kind, "system.kind")
+        _check_key(ADMISSION_POLICIES, self.admission.policy, "admission.policy")
+        if self.router is not None:
+            _check_key(ROUTING_POLICIES, self.router.policy, "router.policy")
+        if self.prefill.mode != "none":
+            _check_key(PREFILL_MODELS, self.prefill.model, "prefill.model")
+        _check_key(TRACES, self.trace.source, "trace.source")
+        if self.model.name not in list_models():
+            raise ValueError(
+                f"model.name: unknown model {self.model.name!r}; "
+                f"registered models: {', '.join(list_models())}"
+            )
+        if self.trace.source == "dataset" and self.trace.dataset not in list_datasets():
+            raise ValueError(
+                f"trace.dataset: unknown dataset {self.trace.dataset!r}; "
+                f"registered datasets: {', '.join(list_datasets())}"
+            )
+        return self
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data representation; ``from_dict`` round-trips it exactly."""
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from nested mappings (e.g. parsed JSON).
+
+        Missing sub-specs take their defaults; unknown keys raise with the
+        field path so spec typos fail fast.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"experiment spec must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(ExperimentSpec)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"experiment spec: unknown field(s) {', '.join(repr(k) for k in unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        kwargs: dict[str, Any] = {}
+        sub_specs = {
+            "model": ModelSpec,
+            "system": SystemSpec,
+            "parallelism": ParallelismSpec,
+            "allocator": AllocatorSpec,
+            "admission": AdmissionSpec,
+            "prefill": PrefillSpec,
+            "trace": TraceSpec,
+        }
+        for key, value in data.items():
+            if key in sub_specs:
+                kwargs[key] = _from_mapping(sub_specs[key], value, key)
+            elif key == "router":
+                kwargs[key] = None if value is None else _from_mapping(RouterSpec, value, "router")
+            else:
+                kwargs[key] = value
+        return ExperimentSpec(**kwargs)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Canonical JSON encoding (sorted keys)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentSpec":
+        """Parse a spec from its JSON encoding."""
+        return ExperimentSpec.from_dict(json.loads(text))
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable short hash of the canonical JSON (for report provenance)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ExperimentSpec":
+        """Return a copy with dotted-path overrides applied.
+
+        ``spec.with_overrides({"system.pimphony": "baseline",
+        "trace.num_requests": 64})`` is the programmatic form of the CLI's
+        ``--set`` flags; it round-trips through ``to_dict`` so overrides are
+        validated exactly like JSON input.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            apply_override(data, path, value)
+        return ExperimentSpec.from_dict(data)
+
+
+def apply_override(data: dict[str, Any], path: str, value: Any) -> None:
+    """Set ``value`` at a dotted ``path`` inside a nested spec dict.
+
+    Intermediate mappings are created as needed (so ``router.replicas=4``
+    works even when the base spec has ``router: null``).
+    """
+    parts = path.split(".")
+    if not all(parts):
+        raise ValueError(f"invalid override path {path!r}")
+    node = data
+    for part in parts[:-1]:
+        child = node.get(part)
+        if not isinstance(child, dict):
+            child = {}
+            node[part] = child
+        node = child
+    node[parts[-1]] = value
+
+
+__all__ = [
+    "ALLOCATOR_MODES",
+    "ARRIVAL_MODES",
+    "PIMPHONY_PRESETS",
+    "PREFILL_MODES",
+    "ModelSpec",
+    "SystemSpec",
+    "ParallelismSpec",
+    "AllocatorSpec",
+    "AdmissionSpec",
+    "PrefillSpec",
+    "TraceSpec",
+    "RouterSpec",
+    "ExperimentSpec",
+    "apply_override",
+]

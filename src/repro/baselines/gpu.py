@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.api.registry import register_system
 from repro.models.llm import LLMConfig
 from repro.serving.interfaces import StepResult
 from repro.system.interconnect import InterconnectConfig
@@ -131,3 +132,19 @@ class GPUSystemModel:
             seconds=fc_seconds + attention_seconds + sync_seconds,
             pim_utilization=0.0,
         )
+
+
+def _build_gpu(model, num_modules, plan, pimphony) -> GPUSystemModel:
+    """Experiment-API builder: A100 group, memory-matched GPU counts.
+
+    ``num_modules`` maps to the GPU count (2 for 7B, 8 for 72B by default);
+    the parallelism plan is ignored (pure tensor parallelism) and of the
+    PIMphony features only DPA matters, as PagedAttention on/off.
+    """
+    del plan
+    gpus = num_modules if num_modules is not None else (2 if model.num_layers <= 40 else 8)
+    return GPUSystemModel(model=model, num_gpus=gpus, paged_attention=pimphony.dpa)
+
+
+# Self-registration: "gpu" is the A100 + FlashDecoding baseline system.
+register_system("gpu", _build_gpu)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
+from repro.api.registry import register_admission_policy
 from repro.workloads.traces import Request
 
 
@@ -123,3 +124,9 @@ class PriorityAdmission:
             waiting,
             key=lambda candidate: (-candidate.priority, candidate.arrival_s, candidate.request_id),
         )
+
+
+# Self-registration: admission policies plug into ExperimentSpec by name.
+register_admission_policy("fcfs", FCFSAdmission)
+register_admission_policy("capacity-aware", CapacityAwareAdmission)
+register_admission_policy("priority", PriorityAdmission)

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+from repro.api.registry import register_prefill_model
+
 
 @runtime_checkable
 class PrefillModel(Protocol):
@@ -124,6 +126,19 @@ class PrefillConfig:
     @property
     def mode(self) -> str:
         return "blocking" if self.chunk_tokens is None else "chunked"
+
+
+# Self-registration: prefill models plug into ExperimentSpec by name.  The
+# factory signature is (system, prefill_spec) -> PrefillModel.
+register_prefill_model("system", lambda system, spec: prefill_model_for(system))
+register_prefill_model(
+    "linear",
+    lambda system, spec: LinearPrefillModel(
+        per_token_s=spec.per_token_s,
+        per_token_sq_s=spec.per_token_sq_s,
+        base_s=spec.base_s,
+    ),
+)
 
 
 def transformer_prefill_flops(model, prompt_tokens: int) -> tuple[float, float]:

@@ -36,6 +36,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
+from repro.api.registry import register_routing_policy
 from repro.serving.engine import EngineResult, ServingEngine
 from repro.serving.interfaces import KVAllocator, allocator_for
 from repro.serving.lifecycle import LatencyStats, RequestRecord
@@ -223,6 +224,13 @@ class SessionAffinityRouting:
         if choice is not None:
             self._sessions[request.session] = choice
         return choice
+
+
+# Self-registration: routing policies plug into ExperimentSpec by name.
+register_routing_policy("round-robin", RoundRobinRouting)
+register_routing_policy("least-outstanding", LeastOutstandingRouting)
+register_routing_policy("capacity-aware", CapacityAwareRouting)
+register_routing_policy("session-affinity", SessionAffinityRouting)
 
 
 @dataclass(frozen=True)

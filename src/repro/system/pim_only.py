@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.api.registry import register_system
 from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig
 from repro.pim.config import PIMModuleConfig, cent_module_config
@@ -168,3 +169,14 @@ class PIMOnlySystem:
             tensor_parallel * self.module.internal_bandwidth_bytes
         )
         return max((fc_flops + attention_flops) / compute_rate, weight_stream_seconds)
+
+
+def _build_pim_only(model, num_modules, plan, pimphony) -> PIMOnlySystem:
+    """Experiment-API builder: CENT-class module pool, paper-matched defaults."""
+    from repro.baselines.cent import cent_system_config
+
+    return cent_system_config(model, num_modules=num_modules, plan=plan, pimphony=pimphony)
+
+
+# Self-registration: "pim-only" is the CENT-class deployment of this system.
+register_system("pim-only", _build_pim_only)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.api.registry import register_system
 from repro.models.llm import LLMConfig
 from repro.serving.interfaces import StepResult
 from repro.serving.prefill import transformer_prefill_flops
@@ -174,3 +175,20 @@ class XPUOnlySystem:
             self.num_modules * self.xpu.memory_bandwidth_bytes
         )
         return max((fc_flops + attention_flops) / compute_rate, weight_stream_seconds)
+
+
+def _build_xpu_only(model, num_modules, plan, pimphony) -> XPUOnlySystem:
+    """Experiment-API builder: all-matrix-unit ablation point.
+
+    Module counts default to the NeuPIMs capacity match (4 x 32GB for 7B,
+    16 for 72B).  The parallelism plan is ignored -- the system is purely
+    tensor parallel -- and of the PIMphony features only DPA matters, as
+    the paged-vs-static KV allocation mode.
+    """
+    del plan
+    modules = num_modules if num_modules is not None else (4 if model.num_layers <= 40 else 16)
+    return XPUOnlySystem(model=model, num_modules=modules, paged_kv=pimphony.dpa)
+
+
+# Self-registration: "xpu-only" is the no-PIM ablation system.
+register_system("xpu-only", _build_xpu_only)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.api.registry import register_system
 from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig
 from repro.pim.config import PIMModuleConfig, neupims_module_config
@@ -156,3 +157,14 @@ class XPUPIMSystem:
             tensor_parallel * self.xpu.memory_bandwidth_bytes
         )
         return max((fc_flops + attention_flops) / compute_rate, weight_stream_seconds)
+
+
+def _build_xpu_pim(model, num_modules, plan, pimphony) -> XPUPIMSystem:
+    """Experiment-API builder: NeuPIMs-class deployment, paper-matched defaults."""
+    from repro.baselines.neupims import neupims_system_config
+
+    return neupims_system_config(model, num_modules=num_modules, plan=plan, pimphony=pimphony)
+
+
+# Self-registration: "xpu-pim" is the NeuPIMs-class deployment of this system.
+register_system("xpu-pim", _build_xpu_pim)

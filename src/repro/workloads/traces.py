@@ -5,10 +5,15 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.workloads.datasets import DatasetStats
+from repro.api.registry import register_trace
+from repro.workloads.datasets import DatasetStats, get_dataset
+
+if TYPE_CHECKING:
+    from repro.api.spec import TraceSpec
 
 
 @dataclass(frozen=True)
@@ -190,6 +195,43 @@ def assign_sessions(trace: RequestTrace, session_ids: Sequence[int | None]) -> R
     return RequestTrace(dataset=trace.dataset, requests=requests)
 
 
+def random_sessions(trace: RequestTrace, num_sessions: int, seed: int = 0) -> RequestTrace:
+    """Attach uniformly random session ids in ``[0, num_sessions)`` to a trace.
+
+    The assignment is reproducible from ``seed``, which the declarative
+    experiment API derives from the experiment's single seed -- so identical
+    specs produce identical session layouts.
+
+    Args:
+        trace: Trace whose requests receive session ids.
+        num_sessions: Number of distinct sessions (positive).
+        seed: Random seed.
+
+    Returns:
+        A new :class:`RequestTrace` with every request in some session.
+    """
+    if num_sessions <= 0:
+        raise ValueError("num_sessions must be positive")
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, num_sessions, size=len(trace.requests))
+    return assign_sessions(trace, [int(session) for session in ids])
+
+
+def periodic_priorities(trace: RequestTrace, every: int, priority: int) -> RequestTrace:
+    """Mark every ``every``-th request (0, every, 2*every, ...) with ``priority``.
+
+    A deterministic way to give priority-aware admission policies something
+    to act on in generated traces (which default every request to 0).
+    """
+    if every <= 0:
+        raise ValueError("every must be positive")
+    requests = tuple(
+        replace(request, priority=priority) if index % every == 0 else request
+        for index, request in enumerate(trace.requests)
+    )
+    return RequestTrace(dataset=trace.dataset, requests=requests)
+
+
 def partition_trace(
     trace: RequestTrace,
     assignments: Sequence[int | None],
@@ -231,3 +273,47 @@ def partition_trace(
     return [
         RequestTrace(dataset=trace.dataset, requests=tuple(bucket)) for bucket in buckets
     ]
+
+
+# -- trace sources for the declarative experiment API ------------------------
+#
+# Registered factories take (spec: TraceSpec, context_window, seed) and
+# return the base trace; the API layer then applies the arrival process,
+# session assignment and priority tagging uniformly across sources.
+
+
+def _dataset_trace(spec: "TraceSpec", context_window: int, seed: int) -> RequestTrace:
+    """Sample a trace from a registered dataset's context distribution."""
+    return generate_trace(
+        get_dataset(spec.dataset),
+        num_requests=spec.num_requests,
+        seed=seed,
+        context_window=context_window,
+        output_tokens=spec.output_tokens,
+    )
+
+
+def _synthetic_trace(spec: "TraceSpec", context_window: int, seed: int) -> RequestTrace:
+    """Fixed-shape requests, optionally with every N-th request made heavy.
+
+    ``heavy_every`` reproduces the skewed-context scenarios used to stress
+    capacity-aware routing; the seed is unused (the trace is deterministic)
+    but kept in the signature so all sources share it.
+    """
+    del seed
+    requests = []
+    for index in range(spec.num_requests):
+        heavy = spec.heavy_every > 0 and index % spec.heavy_every == 0
+        prompt = spec.heavy_prompt_tokens if heavy else spec.prompt_tokens
+        requests.append(
+            Request(
+                request_id=index,
+                prompt_tokens=min(prompt, context_window),
+                output_tokens=spec.output_tokens if spec.output_tokens else 32,
+            )
+        )
+    return RequestTrace(dataset="synthetic", requests=tuple(requests))
+
+
+register_trace("dataset", _dataset_trace)
+register_trace("synthetic", _synthetic_trace)
