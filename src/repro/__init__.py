@@ -22,9 +22,10 @@ System* (HPCA 2026).  It provides:
 * ``repro.system`` -- multi-node PIM-only and xPU+PIM system models with a
   decode serving loop.
 * ``repro.serving`` -- the event-driven serving engine: pluggable admission
-  policies, timestamped arrivals, per-request TTFT/TPOT/percentile metrics,
-  prefill cost models, a bucketed decode-step latency cache and the
-  data-parallel replica router.
+  and preemption policies (KV lifecycle with swap/recompute eviction),
+  timestamped arrivals, per-request TTFT/TPOT/percentile metrics, prefill
+  cost models, a bucketed decode-step latency cache and the data-parallel
+  replica router with TPOT-EWMA feedback.
 * ``repro.baselines`` -- CENT-like, NeuPIMs-like, ping-pong buffering and
   GPU (A100 + FlashDecoding + PagedAttention) baselines.
 * ``repro.workloads`` -- LongBench / LV-Eval statistical trace generators.
@@ -46,6 +47,7 @@ from repro.api import (
     ExperimentSpec,
     ModelSpec,
     ParallelismSpec,
+    PreemptionSpec,
     PrefillSpec,
     RouterSpec,
     RunReport,
@@ -53,6 +55,7 @@ from repro.api import (
     TraceSpec,
     build,
     register_admission_policy,
+    register_preemption_policy,
     register_prefill_model,
     register_routing_policy,
     register_system,
@@ -65,11 +68,18 @@ from repro.models.llm import LLMConfig, get_model, list_models
 from repro.serving import (
     CapacityAwareAdmission,
     CapacityAwareRouting,
+    CapacityExceeded,
     EngineResult,
+    EvictLargest,
+    EvictLRU,
+    EvictYoungest,
     FCFSAdmission,
     FleetResult,
     LeastOutstandingRouting,
     LinearPrefillModel,
+    PreemptedState,
+    PreemptionConfig,
+    PreemptionCostModel,
     PrefillConfig,
     PriorityAdmission,
     ReplicaRouter,
@@ -91,7 +101,7 @@ from repro.workloads.traces import (
     replay_arrivals,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # orchestrator + models + datasets
@@ -112,6 +122,14 @@ __all__ = [
     "CapacityAwareAdmission",
     "PriorityAdmission",
     "StepLatencyCache",
+    # KV lifecycle + preemption
+    "CapacityExceeded",
+    "PreemptedState",
+    "PreemptionConfig",
+    "PreemptionCostModel",
+    "EvictLRU",
+    "EvictLargest",
+    "EvictYoungest",
     # replica router + routing policies
     "ReplicaRouter",
     "FleetResult",
@@ -137,6 +155,7 @@ __all__ = [
     "ParallelismSpec",
     "AllocatorSpec",
     "AdmissionSpec",
+    "PreemptionSpec",
     "PrefillSpec",
     "TraceSpec",
     "RouterSpec",
@@ -147,6 +166,7 @@ __all__ = [
     "register_system",
     "register_admission_policy",
     "register_routing_policy",
+    "register_preemption_policy",
     "register_prefill_model",
     "register_trace",
     "__version__",

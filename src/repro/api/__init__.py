@@ -18,8 +18,8 @@ runs from a checked-in file via ``python -m repro run spec.json`` -- with
 ``--set`` overrides and ``--sweep`` cartesian sweeps.  Components are
 resolved through string-keyed registries that the concrete classes
 self-register into; ``register_system`` / ``register_admission_policy`` /
-``register_routing_policy`` / ``register_prefill_model`` /
-``register_trace`` extend the vocabulary.
+``register_routing_policy`` / ``register_preemption_policy`` /
+``register_prefill_model`` / ``register_trace`` extend the vocabulary.
 
 This module lazily imports its submodules (PEP 562) so component modules
 (e.g. :mod:`repro.serving.admission`) can import
@@ -35,11 +35,13 @@ _EXPORTS = {
     "register_system": "registry",
     "register_admission_policy": "registry",
     "register_routing_policy": "registry",
+    "register_preemption_policy": "registry",
     "register_prefill_model": "registry",
     "register_trace": "registry",
     "SYSTEMS": "registry",
     "ADMISSION_POLICIES": "registry",
     "ROUTING_POLICIES": "registry",
+    "PREEMPTION_POLICIES": "registry",
     "PREFILL_MODELS": "registry",
     "TRACES": "registry",
     # spec
@@ -49,6 +51,7 @@ _EXPORTS = {
     "ParallelismSpec": "spec",
     "AllocatorSpec": "spec",
     "AdmissionSpec": "spec",
+    "PreemptionSpec": "spec",
     "PrefillSpec": "spec",
     "TraceSpec": "spec",
     "RouterSpec": "spec",

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.api.registry import (
     ADMISSION_POLICIES,
+    PREEMPTION_POLICIES,
     PREFILL_MODELS,
     ROUTING_POLICIES,
     SYSTEMS,
@@ -36,6 +37,7 @@ from repro.models.llm import LLMConfig, get_model
 from repro.serving.engine import ServingEngine
 from repro.serving.interfaces import DecodeSystem
 from repro.serving.latency_cache import StepLatencyCache
+from repro.serving.preemption import PreemptionConfig, PreemptionCostModel
 from repro.serving.prefill import PrefillConfig
 from repro.serving.router import ReplicaRouter
 from repro.system.parallelism import ParallelismPlan
@@ -109,6 +111,24 @@ def build_trace(spec: ExperimentSpec, model: LLMConfig | None = None) -> Request
     return trace
 
 
+def _preemption_factory(spec: ExperimentSpec) -> Callable[[], PreemptionConfig | None]:
+    """Per-engine preemption config factory for ``spec``.
+
+    ``policy="none"`` yields ``None`` so engines take the exact legacy
+    admit-to-completion code path (the parity guarantee); anything else
+    yields a fresh policy instance per engine with the spec's cost model.
+    """
+    if spec.preemption.policy == "none":
+        return lambda: None
+    policy_factory = PREEMPTION_POLICIES.get(spec.preemption.policy)
+    cost = PreemptionCostModel(
+        mode=spec.preemption.mode,
+        swap_bandwidth_bytes_per_s=spec.preemption.swap_bandwidth_gbps * 1e9,
+        recompute_per_token_s=spec.preemption.recompute_per_token_s,
+    )
+    return lambda: PreemptionConfig(policy=policy_factory(), cost=cost)
+
+
 @dataclass
 class BuiltExperiment:
     """The assembled-but-not-yet-run pieces of one experiment.
@@ -153,6 +173,7 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
         prefill = PrefillConfig(model=prefill_model, chunk_tokens=chunk)
 
     admission_factory = ADMISSION_POLICIES.get(spec.admission.policy)
+    preemption_factory = _preemption_factory(spec)
 
     def engine_factory() -> ServingEngine:
         cache = (
@@ -167,6 +188,7 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
             step_stride=spec.step_stride,
             latency_cache=cache,
             prefill=prefill,
+            preemption=preemption_factory(),
         )
 
     if spec.router is None:
@@ -184,6 +206,7 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
         spec.router.replicas,
         policy=ROUTING_POLICIES.get(spec.router.policy)(),
         probe_context_tokens=spec.router.probe_context_tokens,
+        ewma_alpha=spec.router.ewma_alpha,
     )
     return BuiltExperiment(
         spec=spec,

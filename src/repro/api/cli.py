@@ -7,8 +7,8 @@ Subcommands:
   ``--sweep`` axes, and print a table or a JSON report.
 * ``validate SPEC.json [--set key=value]`` -- type/range/registry-key check
   a spec without running it.
-* ``list [systems|admission|routing|prefill|traces|models|datasets]`` --
-  show the registered component vocabulary specs can name.
+* ``list [systems|admission|routing|preemption|prefill|traces|models|
+  datasets]`` -- show the registered component vocabulary specs can name.
 
 ``--set`` and ``--sweep`` take dotted paths into the spec
 (``trace.num_requests=64``, ``system.pimphony=baseline,full``); values are
@@ -26,6 +26,7 @@ from typing import Any, Sequence
 from repro.analysis.reporting import format_table
 from repro.api.registry import (
     ADMISSION_POLICIES,
+    PREEMPTION_POLICIES,
     PREFILL_MODELS,
     ROUTING_POLICIES,
     SYSTEMS,
@@ -163,6 +164,7 @@ def _command_list(args: argparse.Namespace) -> int:
         "systems": lambda: SYSTEMS.names(),
         "admission": lambda: ADMISSION_POLICIES.names(),
         "routing": lambda: ROUTING_POLICIES.names(),
+        "preemption": lambda: PREEMPTION_POLICIES.names(),
         "prefill": lambda: PREFILL_MODELS.names(),
         "traces": lambda: TRACES.names(),
         "models": list_models,
@@ -218,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
             "systems",
             "admission",
             "routing",
+            "preemption",
             "prefill",
             "traces",
             "models",

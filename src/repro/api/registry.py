@@ -25,6 +25,7 @@ Registered factory signatures:
   (``num_modules`` and ``plan`` may be ``None`` for the kind's defaults).
 * **admission policy** -- ``factory() -> AdmissionPolicy``.
 * **routing policy** -- ``factory() -> RoutingPolicy``.
+* **preemption policy** -- ``factory() -> PreemptionPolicy``.
 * **prefill model** -- ``factory(system, spec: PrefillSpec) -> PrefillModel``.
 * **trace** -- ``factory(spec: TraceSpec, context_window, seed) -> RequestTrace``.
 """
@@ -95,12 +96,14 @@ class Registry:
 SYSTEMS = Registry("system")
 ADMISSION_POLICIES = Registry("admission policy")
 ROUTING_POLICIES = Registry("routing policy")
+PREEMPTION_POLICIES = Registry("preemption policy")
 PREFILL_MODELS = Registry("prefill model")
 TRACES = Registry("trace source")
 
 register_system = SYSTEMS.register
 register_admission_policy = ADMISSION_POLICIES.register
 register_routing_policy = ROUTING_POLICIES.register
+register_preemption_policy = PREEMPTION_POLICIES.register
 register_prefill_model = PREFILL_MODELS.register
 register_trace = TRACES.register
 
@@ -109,11 +112,13 @@ __all__ = [
     "SYSTEMS",
     "ADMISSION_POLICIES",
     "ROUTING_POLICIES",
+    "PREEMPTION_POLICIES",
     "PREFILL_MODELS",
     "TRACES",
     "register_system",
     "register_admission_policy",
     "register_routing_policy",
+    "register_preemption_policy",
     "register_prefill_model",
     "register_trace",
 ]

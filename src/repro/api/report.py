@@ -52,6 +52,13 @@ class RunReport:
         latency: TTFT / TPOT / end-to-end percentile statistics (merged
             over the union of request records for fleets).
         replica_results: The underlying per-engine results (escape hatch).
+        preemption_policy: Preemption policy name at each engine
+            (``"none"`` under the admit-to-completion contract).
+        preemptions: Victim evictions across all replicas.
+        recompute_tokens: Tokens re-prefilled by recompute-mode restores.
+        preemption_overhead_s: Clock charged to page-out/page-in work.
+        requeue_delay_mean_s: Mean paged-out-to-restored stall per
+            preemption (union of request records for fleets).
     """
 
     spec: "ExperimentSpec"
@@ -75,6 +82,11 @@ class RunReport:
     load_imbalance: float
     latency: LatencyStats
     replica_results: tuple[EngineResult, ...] = field(repr=False, compare=False)
+    preemption_policy: str = "none"
+    preemptions: int = 0
+    recompute_tokens: int = 0
+    preemption_overhead_s: float = 0.0
+    requeue_delay_mean_s: float = 0.0
     _fleet: FleetResult | None = field(default=None, repr=False, compare=False)
 
     # -- derived metrics ----------------------------------------------------
@@ -144,6 +156,11 @@ class RunReport:
             load_imbalance=1.0,
             latency=result.latency,
             replica_results=(result,),
+            preemption_policy=result.preemption_policy,
+            preemptions=result.preemptions,
+            recompute_tokens=result.recompute_tokens,
+            preemption_overhead_s=result.preemption_overhead_s,
+            requeue_delay_mean_s=result.requeue_delay_mean_s,
         )
 
     @staticmethod
@@ -160,6 +177,10 @@ class RunReport:
                 / total_steps
             )
 
+        total_preemptions = sum(result.preemptions for result in replicas)
+        total_stall = sum(
+            record.stall_s for record in fleet.request_records if record.preemptions
+        )
         return RunReport(
             spec=spec,
             spec_hash=spec.spec_hash,
@@ -182,6 +203,15 @@ class RunReport:
             load_imbalance=fleet.load_imbalance,
             latency=fleet.latency,
             replica_results=replicas,
+            preemption_policy=replicas[0].preemption_policy if replicas else "none",
+            preemptions=total_preemptions,
+            recompute_tokens=sum(result.recompute_tokens for result in replicas),
+            preemption_overhead_s=sum(
+                result.preemption_overhead_s for result in replicas
+            ),
+            requeue_delay_mean_s=(
+                total_stall / total_preemptions if total_preemptions else 0.0
+            ),
             _fleet=fleet,
         )
 
@@ -219,6 +249,7 @@ class RunReport:
             "system_kind": self.system_kind,
             "admission_policy": self.admission_policy,
             "prefill_mode": self.prefill_mode,
+            "preemption_policy": self.preemption_policy,
             "metrics": {
                 "num_requests": self.num_requests,
                 "requests_served": self.requests_served,
@@ -233,6 +264,10 @@ class RunReport:
                 "average_pim_utilization": self.average_pim_utilization,
                 "average_capacity_utilization": self.average_capacity_utilization,
                 "load_imbalance": self.load_imbalance,
+                "preemptions": self.preemptions,
+                "recompute_tokens": self.recompute_tokens,
+                "preemption_overhead_s": self.preemption_overhead_s,
+                "requeue_delay_mean_s": self.requeue_delay_mean_s,
                 "latency": dataclasses.asdict(self.latency),
             },
             "replicas": [
@@ -245,6 +280,7 @@ class RunReport:
                     "makespan_s": result.makespan_s,
                     "ttft_p95_ms": result.latency.ttft_p95_s * 1e3,
                     "latency_p99_ms": result.latency.latency_p99_s * 1e3,
+                    "preemptions": result.preemptions,
                 }
                 for result in self.replica_results
             ],

@@ -2,8 +2,8 @@
 
 An :class:`ExperimentSpec` is the single front door to the simulator: it
 names every axis of a serving experiment -- model, system, parallelism,
-allocator mode, admission, prefill, trace, router/replicas, seed -- as
-plain data.  Specs are frozen, compare by value, round-trip through
+allocator mode, admission, preemption, prefill, trace, router/replicas,
+seed -- as plain data.  Specs are frozen, compare by value, round-trip through
 ``to_dict``/``from_dict`` and JSON, and validate eagerly with field-level
 error messages, so sweeps, CI smoke runs and paper figures can be driven
 from checked-in JSON files instead of hand-wired constructor calls.
@@ -24,11 +24,13 @@ from typing import Any, Mapping
 
 from repro.api.registry import (
     ADMISSION_POLICIES,
+    PREEMPTION_POLICIES,
     PREFILL_MODELS,
     ROUTING_POLICIES,
     SYSTEMS,
     TRACES,
 )
+from repro.memory.lifecycle import PREEMPTION_COST_MODES
 
 #: PIMphony feature presets accepted by :attr:`SystemSpec.pimphony`
 #: (resolved to :class:`~repro.core.orchestrator.PIMphonyConfig` factories
@@ -43,6 +45,10 @@ ARRIVAL_MODES = ("all-at-once", "poisson")
 
 #: Prefill charging disciplines accepted by :attr:`PrefillSpec.mode`.
 PREFILL_MODES = ("none", "blocking", "chunked")
+
+#: Preemption cost disciplines accepted by :attr:`PreemptionSpec.mode`
+#: (aliases the canonical tuple next to the lifecycle types).
+PREEMPTION_MODES = PREEMPTION_COST_MODES
 
 
 def _require(condition: bool, message: str) -> None:
@@ -237,6 +243,44 @@ class PrefillSpec:
 
 
 @dataclass(frozen=True)
+class PreemptionSpec:
+    """How mid-decode KV capacity pressure is resolved.
+
+    Attributes:
+        policy: Registered preemption policy key.  ``"none"`` (default)
+            keeps the admit-to-completion contract: each request's final
+            context is committed at admission, growth never fails, and
+            pre-lifecycle behaviour is reproduced exactly.  Any other key
+            (``"evict-lru"``, ``"evict-largest"``, ``"evict-youngest"``,
+            or anything added via
+            :func:`repro.api.register_preemption_policy`) switches the
+            engine to incremental allocation with victim eviction.
+        mode: ``"swap"`` pages victims' KV to host memory and back at
+            ``swap_bandwidth_gbps``; ``"recompute"`` drops it and re-runs
+            prefill at restore (charged through the prefill model when one
+            is configured, else ``recompute_per_token_s`` per token).
+        swap_bandwidth_gbps: Host link bandwidth for the ``"swap"`` mode.
+        recompute_per_token_s: Fallback re-prefill cost for the
+            ``"recompute"`` mode when no prefill model is configured.
+    """
+
+    policy: str = "none"
+    mode: str = "recompute"
+    swap_bandwidth_gbps: float = 64.0
+    recompute_per_token_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_name(self.policy, "preemption.policy")
+        _check_choice(self.mode, PREEMPTION_MODES, "preemption.mode")
+        _check_non_negative_float(self.swap_bandwidth_gbps, "preemption.swap_bandwidth_gbps")
+        _require(
+            self.swap_bandwidth_gbps > 0,
+            f"preemption.swap_bandwidth_gbps must be positive, got {self.swap_bandwidth_gbps!r}",
+        )
+        _check_non_negative_float(self.recompute_per_token_s, "preemption.recompute_per_token_s")
+
+
+@dataclass(frozen=True)
 class TraceSpec:
     """What workload arrives, when, and with which metadata.
 
@@ -309,16 +353,25 @@ class RouterSpec:
             ``"session-affinity"``, ...).
         probe_context_tokens: Context used to probe per-replica step
             latency for the router's service-time estimates.
+        ewma_alpha: Weight of measured per-replica TPOT folded back into
+            the router's service-time estimates after each run (``0``
+            disables the feedback loop and keeps probe-only estimates).
     """
 
     replicas: int = 1
     policy: str = "round-robin"
     probe_context_tokens: int = 1024
+    ewma_alpha: float = 0.3
 
     def __post_init__(self) -> None:
         _check_positive_int(self.replicas, "router.replicas")
         _check_name(self.policy, "router.policy")
         _check_positive_int(self.probe_context_tokens, "router.probe_context_tokens")
+        _check_non_negative_float(self.ewma_alpha, "router.ewma_alpha")
+        _require(
+            self.ewma_alpha <= 1.0,
+            f"router.ewma_alpha must be within [0, 1], got {self.ewma_alpha!r}",
+        )
 
 
 @dataclass(frozen=True)
@@ -346,6 +399,7 @@ class ExperimentSpec:
     parallelism: ParallelismSpec = field(default_factory=ParallelismSpec)
     allocator: AllocatorSpec = field(default_factory=AllocatorSpec)
     admission: AdmissionSpec = field(default_factory=AdmissionSpec)
+    preemption: PreemptionSpec = field(default_factory=PreemptionSpec)
     prefill: PrefillSpec = field(default_factory=PrefillSpec)
     trace: TraceSpec = field(default_factory=TraceSpec)
     router: RouterSpec | None = None
@@ -374,6 +428,10 @@ class ExperimentSpec:
         _require(
             isinstance(self.admission, AdmissionSpec),
             f"admission must be an AdmissionSpec, got {type(self.admission).__name__}",
+        )
+        _require(
+            isinstance(self.preemption, PreemptionSpec),
+            f"preemption must be a PreemptionSpec, got {type(self.preemption).__name__}",
         )
         _require(
             isinstance(self.prefill, PrefillSpec),
@@ -425,6 +483,7 @@ class ExperimentSpec:
 
         _check_key(SYSTEMS, self.system.kind, "system.kind")
         _check_key(ADMISSION_POLICIES, self.admission.policy, "admission.policy")
+        _check_key(PREEMPTION_POLICIES, self.preemption.policy, "preemption.policy")
         if self.router is not None:
             _check_key(ROUTING_POLICIES, self.router.policy, "router.policy")
         if self.prefill.mode != "none":
@@ -471,6 +530,7 @@ class ExperimentSpec:
             "parallelism": ParallelismSpec,
             "allocator": AllocatorSpec,
             "admission": AdmissionSpec,
+            "preemption": PreemptionSpec,
             "prefill": PrefillSpec,
             "trace": TraceSpec,
         }
@@ -535,12 +595,14 @@ __all__ = [
     "ALLOCATOR_MODES",
     "ARRIVAL_MODES",
     "PIMPHONY_PRESETS",
+    "PREEMPTION_MODES",
     "PREFILL_MODES",
     "ModelSpec",
     "SystemSpec",
     "ParallelismSpec",
     "AllocatorSpec",
     "AdmissionSpec",
+    "PreemptionSpec",
     "PrefillSpec",
     "TraceSpec",
     "RouterSpec",

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.compiler.dpa_encoding import dpa_instruction_footprint, static_instruction_footprint
 from repro.memory.chunked_alloc import DEFAULT_CHUNK_BYTES, ChunkedAllocator
+from repro.memory.lifecycle import PreemptedState
 from repro.memory.static_alloc import StaticAllocator
 from repro.memory.va2pa import VA2PATable
 
@@ -58,13 +59,23 @@ class DPAController:
         """
         return self.allocator.can_admit(tokens)
 
+    def could_ever_fit(self, tokens: int) -> bool:
+        """Whether ``tokens`` of context fits an empty module at all."""
+        return self.allocator.could_ever_fit(tokens)
+
     def admit(self, request_id: int, initial_tokens: int) -> None:
         """Admit a request: allocate its prefix chunks and register metadata."""
         self.allocator.admit(request_id, initial_tokens)
         self.token_lengths[request_id] = initial_tokens
 
-    def reserve(self, request_id: int, initial_tokens: int, final_tokens: int) -> None:
-        """Admit a request, committing chunks for its final context up front."""
+    def reserve(
+        self, request_id: int, initial_tokens: int, final_tokens: int | None = None
+    ) -> None:
+        """Admit a request, committing chunks for its final context up front.
+
+        Omitting ``final_tokens`` commits only the prefix (the incremental
+        lifecycle contract); growth then claims chunks on demand.
+        """
         self.allocator.reserve(request_id, initial_tokens, final_tokens)
         self.token_lengths[request_id] = initial_tokens
 
@@ -74,15 +85,46 @@ class DPAController:
         Token progression is handled by the on-module dispatcher without
         host intervention; the host is only involved when a new chunk must
         be mapped (tracked by the allocator's ``host_interventions``).
+
+        Raises:
+            CapacityExceeded: if a new chunk is required but none is free.
         """
-        self.allocator.append_token(request_id, new_tokens)
+        self.allocator.grow(request_id, new_tokens)
         self.token_lengths[request_id] += new_tokens
+
+    def grow(self, request_id: int, count: int = 1) -> None:
+        """Lifecycle-contract alias of :meth:`step`."""
+        self.step(request_id, count)
+
+    def append_token(self, request_id: int, count: int = 1) -> None:
+        """Legacy-protocol alias of :meth:`step`."""
+        self.step(request_id, count)
+
+    def preempt(self, request_id: int) -> PreemptedState:
+        """Page a request's chunks out and forget its dispatcher state."""
+        state = self.allocator.preempt(request_id)
+        self.token_lengths.pop(request_id, None)
+        return state
+
+    def restore(self, request_id: int, state: PreemptedState) -> None:
+        """Re-map a preempted request's chunks and re-register metadata."""
+        self.allocator.restore(request_id, state)
+        self.token_lengths[request_id] = state.tokens
 
     def release(self, request_id: int) -> None:
         self.allocator.release(request_id)
         self.token_lengths.pop(request_id, None)
 
     # -- metrics -------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes backing live tokens across the module's requests."""
+        return self.allocator.used_bytes
+
+    @property
+    def num_requests(self) -> int:
+        return self.allocator.num_requests
 
     @property
     def capacity_utilization(self) -> float:

@@ -5,13 +5,23 @@ chunks (1MB by default, matching the paper) on demand as a request's KV
 cache grows.  Internal fragmentation is limited to the final, partially
 filled chunk of each request, which raises capacity utilisation to ~75% on
 the paper's workloads (Fig. 19 with DPA).
+
+The allocator implements the full request-lifecycle contract
+(:class:`~repro.serving.interfaces.KVLifecycle`): ``reserve`` without a
+``final_tokens`` commitment admits a request against only its *current*
+context (true incremental allocation), ``grow`` raises
+:class:`~repro.memory.lifecycle.CapacityExceeded` when the chunks run out
+mid-decode, and ``preempt``/``restore`` page a victim's chunks out and
+back in so a preemption policy can resolve the pressure.  Passing
+``final_tokens`` keeps the legacy admit-to-completion guarantee: the final
+context is committed up front and growth inside it never fails.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.memory.static_alloc import AllocationError
+from repro.memory.lifecycle import CapacityExceeded, PreemptedState
 from repro.memory.va2pa import VA2PATable
 
 DEFAULT_CHUNK_BYTES = 1 * 1024 * 1024
@@ -85,37 +95,49 @@ class ChunkedAllocator:
         """Chunks available for new reservations."""
         return self.total_chunks - self.committed_chunk_count
 
-    def can_admit(self, final_tokens: int) -> bool:
-        """Whether a request growing to ``final_tokens`` of context fits.
+    def can_admit(self, tokens: int) -> bool:
+        """Whether a request needing ``tokens`` of context fits right now.
 
-        Admission is checked against the *uncommitted* capacity.  Paired
-        with :meth:`reserve` of the same ``final_tokens``, an admitted
-        request never runs out of chunks mid-decode: every live
-        reservation's final context is already accounted for.  (Pairing it
-        with :meth:`admit`, which commits only the prefix, keeps the legacy
-        may-fail-while-growing behaviour.)
+        Admission is checked against the *uncommitted* capacity.  Under the
+        legacy contract, ``tokens`` is the request's final context and
+        pairing with :meth:`reserve` of the same value guarantees no
+        mid-decode failure.  Under the incremental lifecycle contract,
+        ``tokens`` is the request's *current* context and growth past it
+        may raise :class:`CapacityExceeded`, to be resolved by preemption.
         """
-        return self.chunks_needed(final_tokens) <= self.uncommitted_chunk_count
+        return self.chunks_needed(tokens) <= self.uncommitted_chunk_count
+
+    def could_ever_fit(self, tokens: int) -> bool:
+        """Whether ``tokens`` of context fits an *empty* allocator at all."""
+        return self.chunks_needed(tokens) <= self.total_chunks
 
     # -- allocation lifecycle ----------------------------------------------
 
-    def reserve(self, request_id: int, initial_tokens: int, final_tokens: int) -> None:
-        """Admit a request, mapping its prefix and committing its final size.
+    def reserve(
+        self, request_id: int, initial_tokens: int, final_tokens: int | None = None
+    ) -> None:
+        """Admit a request, mapping chunks for its current prefix.
 
-        Chunks for ``initial_tokens`` are mapped immediately; the remainder
-        up to ``final_tokens`` is only committed, and materialises lazily as
-        :meth:`append_token` grows the request.
+        With ``final_tokens`` (the legacy admit-to-completion contract) the
+        remainder up to the final context is *committed* up front and
+        materialises lazily as the request grows -- growth inside the
+        commitment never fails.  Without it (the incremental lifecycle
+        contract) only ``initial_tokens`` is committed, and :meth:`grow`
+        claims further chunks on demand, which may raise
+        :class:`CapacityExceeded` under pressure.
 
         Raises:
-            AllocationError: if the committed final context does not fit.
+            CapacityExceeded: if the committed context does not fit.
         """
         if request_id in self._tokens:
             raise ValueError(f"request {request_id} already admitted")
+        if final_tokens is None:
+            final_tokens = initial_tokens
         if final_tokens < initial_tokens:
             raise ValueError("final_tokens must be >= initial_tokens")
         committed = self.chunks_needed(final_tokens)
         if committed > self.uncommitted_chunk_count:
-            raise AllocationError("insufficient free chunks to admit request")
+            raise CapacityExceeded("insufficient free chunks to admit request")
         for virtual_chunk in range(self.chunks_needed(initial_tokens)):
             self._table.map(request_id, virtual_chunk, self._free_chunks.pop())
         self._tokens[request_id] = initial_tokens
@@ -126,23 +148,24 @@ class ChunkedAllocator:
     def admit(self, request_id: int, initial_tokens: int) -> None:
         """Admit a request committing only its current prefix.
 
-        The commitment then grows with :meth:`append_token`, which may fail
-        mid-decode when the allocator fills up; callers that know a request's
-        final context should use :meth:`reserve` instead.
+        Equivalent to :meth:`reserve` without ``final_tokens``: the
+        commitment grows with :meth:`grow`, which may fail mid-decode when
+        the allocator fills up.
 
         Raises:
-            AllocationError: if the request's current KV cache does not fit.
+            CapacityExceeded: if the request's current KV cache does not fit.
         """
-        self.reserve(request_id, initial_tokens, initial_tokens)
+        self.reserve(request_id, initial_tokens)
 
-    def append_token(self, request_id: int, count: int = 1) -> None:
+    def grow(self, request_id: int, count: int = 1) -> None:
         """Grow a request's KV cache, allocating a new chunk when needed.
 
-        Growth within the request's reservation always succeeds; growth past
+        Growth within the request's commitment always succeeds; growth past
         it must claim uncommitted chunks.
 
         Raises:
-            AllocationError: if a new chunk is required but none is free.
+            CapacityExceeded: if a new chunk is required but none is free --
+                the signal a preemption policy resolves by evicting a victim.
         """
         if request_id not in self._tokens:
             raise KeyError(f"request {request_id} is not admitted")
@@ -152,7 +175,7 @@ class ChunkedAllocator:
         committed = self._committed[request_id]
         if need > committed:
             if need - committed > self.uncommitted_chunk_count:
-                raise AllocationError("out of chunks while growing the KV cache")
+                raise CapacityExceeded("out of chunks while growing the KV cache")
             self._committed[request_id] = need
             self._committed_total += need - committed
         for virtual_chunk in range(have, need):
@@ -160,6 +183,55 @@ class ChunkedAllocator:
         if need > have:
             self.host_interventions += 1
         self._tokens[request_id] = current + count
+
+    def append_token(self, request_id: int, count: int = 1) -> None:
+        """Legacy alias of :meth:`grow` (kept for the PR 1 protocol)."""
+        self.grow(request_id, count)
+
+    def preempt(self, request_id: int) -> PreemptedState:
+        """Page a request out: free its chunks and return a restore receipt.
+
+        Raises:
+            KeyError: if the request is not admitted.
+        """
+        if request_id not in self._tokens:
+            raise KeyError(f"request {request_id} is not admitted")
+        freed = self._table.release(request_id)
+        self._free_chunks.extend(freed)
+        tokens = self._tokens.pop(request_id)
+        committed = self._committed.pop(request_id)
+        self._committed_total -= committed
+        self.host_interventions += 1
+        return PreemptedState(
+            request_id=request_id,
+            tokens=tokens,
+            kv_bytes=tokens * self.bytes_per_token,
+            committed_chunks=committed,
+        )
+
+    def restore(self, request_id: int, state: PreemptedState) -> None:
+        """Re-admit a preempted request with exactly what it held.
+
+        Chunks for ``state.tokens`` are mapped again and the commitment is
+        re-established at its pre-preemption level, so a request admitted
+        through the legacy reserve-to-final contract resumes with the same
+        no-mid-decode-failure guarantee.
+
+        Raises:
+            CapacityExceeded: if the restored reservation does not fit yet.
+        """
+        if request_id in self._tokens:
+            raise ValueError(f"request {request_id} already admitted")
+        mapped = self.chunks_needed(state.tokens)
+        committed = max(mapped, state.committed_chunks)
+        if committed > self.uncommitted_chunk_count:
+            raise CapacityExceeded("insufficient free chunks to restore request")
+        for virtual_chunk in range(mapped):
+            self._table.map(request_id, virtual_chunk, self._free_chunks.pop())
+        self._tokens[request_id] = state.tokens
+        self._committed[request_id] = committed
+        self._committed_total += committed
+        self.host_interventions += 1
 
     def release(self, request_id: int) -> None:
         """Free every chunk owned by or committed to a request."""

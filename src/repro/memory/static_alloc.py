@@ -10,6 +10,12 @@ real long-context workloads (Fig. 19 baseline).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.memory.lifecycle subclasses
+    # AllocationError, so a module-level import here would be circular.
+    from repro.memory.lifecycle import PreemptedState
 
 
 class AllocationError(RuntimeError):
@@ -55,18 +61,23 @@ class StaticAllocator:
     def num_requests(self) -> int:
         return len(self._reservations)
 
-    def can_admit(self, final_tokens: int | None = None) -> bool:
+    def can_admit(self, tokens: int | None = None) -> bool:
         """Whether one more request's worst-case reservation fits.
 
         Args:
-            final_tokens: Optional final context length of the candidate
-                request.  Static reservations are always ``T_max`` so the
-                value only rules out requests longer than the maximum; it is
-                accepted for signature parity with :class:`ChunkedAllocator`.
+            tokens: Optional context length of the candidate request.
+                Static reservations are always ``T_max`` so the value only
+                rules out requests longer than the maximum; it is accepted
+                for signature parity with :class:`ChunkedAllocator` (the
+                legacy no-argument form still works).
         """
-        if final_tokens is not None and final_tokens > self.max_context_tokens:
+        if tokens is not None and tokens > self.max_context_tokens:
             return False
         return self.free_bytes >= self.reservation_bytes
+
+    def could_ever_fit(self, tokens: int) -> bool:
+        """Whether ``tokens`` of context fits an *empty* allocator at all."""
+        return tokens <= self.max_context_tokens and self.capacity_bytes >= self.reservation_bytes
 
     def admit(self, request_id: int, initial_tokens: int) -> None:
         """Reserve worst-case space for a new request.
@@ -84,30 +95,78 @@ class StaticAllocator:
         self._reservations[request_id] = self.reservation_bytes
         self._used_tokens[request_id] = initial_tokens
 
-    def reserve(self, request_id: int, initial_tokens: int, final_tokens: int) -> None:
+    def reserve(
+        self, request_id: int, initial_tokens: int, final_tokens: int | None = None
+    ) -> None:
         """Admit a request that will grow to ``final_tokens`` of context.
 
         The reservation is ``T_max`` regardless of ``final_tokens``; the
-        argument exists so both allocators share one admission signature.
+        argument exists so both allocators share one admission signature
+        (and may be omitted under the incremental lifecycle contract).
 
         Raises:
             AllocationError: if the worst-case reservation does not fit or
                 the request's final context exceeds the static maximum.
         """
+        if final_tokens is None:
+            final_tokens = initial_tokens
         if final_tokens < initial_tokens:
             raise ValueError("final_tokens must be >= initial_tokens")
         if final_tokens > self.max_context_tokens:
             raise AllocationError("final context exceeds the static maximum")
         self.admit(request_id, initial_tokens)
 
-    def append_token(self, request_id: int, count: int = 1) -> None:
-        """Record generated tokens; the reservation never grows or shrinks."""
+    def grow(self, request_id: int, count: int = 1) -> None:
+        """Record generated tokens; the reservation never grows or shrinks.
+
+        A ``T_max`` reservation already covers any in-window growth, so
+        unlike the chunked allocator this never raises
+        :class:`~repro.memory.lifecycle.CapacityExceeded` -- static
+        systems feel capacity pressure at admission, not mid-decode.
+        """
         if request_id not in self._reservations:
             raise KeyError(f"request {request_id} is not admitted")
         new_total = self._used_tokens[request_id] + count
         if new_total > self.max_context_tokens:
             raise AllocationError("request exceeded the static maximum context")
         self._used_tokens[request_id] = new_total
+
+    def append_token(self, request_id: int, count: int = 1) -> None:
+        """Legacy alias of :meth:`grow` (kept for the PR 1 protocol)."""
+        self.grow(request_id, count)
+
+    def preempt(self, request_id: int) -> "PreemptedState":
+        """Free a request's reservation and return a restore receipt.
+
+        Raises:
+            KeyError: if the request is not admitted.
+        """
+        from repro.memory.lifecycle import PreemptedState
+
+        if request_id not in self._reservations:
+            raise KeyError(f"request {request_id} is not admitted")
+        tokens = self._used_tokens.pop(request_id)
+        del self._reservations[request_id]
+        return PreemptedState(
+            request_id=request_id,
+            tokens=tokens,
+            kv_bytes=tokens * self.bytes_per_token,
+        )
+
+    def restore(self, request_id: int, state: "PreemptedState") -> None:
+        """Re-admit a preempted request with its saved context.
+
+        Raises:
+            CapacityExceeded: if a worst-case reservation does not fit yet.
+        """
+        from repro.memory.lifecycle import CapacityExceeded
+
+        if request_id in self._reservations:
+            raise ValueError(f"request {request_id} already admitted")
+        if not self.can_admit(state.tokens):
+            raise CapacityExceeded("insufficient capacity to restore request")
+        self._reservations[request_id] = self.reservation_bytes
+        self._used_tokens[request_id] = state.tokens
 
     def release(self, request_id: int) -> None:
         """Free a request's reservation."""

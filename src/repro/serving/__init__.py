@@ -9,10 +9,14 @@ Layering, from the outside in:
   implementations (FCFS, capacity-aware, priority).
 * :mod:`repro.serving.engine` -- the :class:`ServingEngine` event loop
   consuming timestamped arrivals.
+* :mod:`repro.serving.preemption` -- pluggable :class:`PreemptionPolicy`
+  implementations (evict-lru / evict-largest / evict-youngest) with swap
+  or recompute cost models, driving the incremental KV lifecycle contract.
 * :mod:`repro.serving.prefill` -- context-length-dependent prefill cost
   models (blocking or chunked) that make TTFT reflect prompt length.
-* :mod:`repro.serving.interfaces` -- the :class:`DecodeSystem` and
-  :class:`KVAllocator` protocols plus result types.
+* :mod:`repro.serving.interfaces` -- the :class:`DecodeSystem`,
+  :class:`KVAllocator` and :class:`KVLifecycle` protocols plus result
+  types.
 * :mod:`repro.serving.lifecycle` -- per-request TTFT/TPOT/latency tracking.
 * :mod:`repro.serving.latency_cache` -- bucketed decode-step memoisation
   for large sweeps.
@@ -27,8 +31,11 @@ from repro.serving.admission import (
 )
 from repro.serving.engine import EngineResult, ServingEngine, serve
 from repro.serving.interfaces import (
+    CapacityExceeded,
     DecodeSystem,
     KVAllocator,
+    KVLifecycle,
+    PreemptedState,
     ServingResult,
     StepResult,
     allocator_for,
@@ -36,6 +43,16 @@ from repro.serving.interfaces import (
 )
 from repro.serving.latency_cache import StepLatencyCache
 from repro.serving.lifecycle import LatencyStats, LifecycleTracker, RequestRecord, percentile
+from repro.serving.preemption import (
+    EvictLargest,
+    EvictLRU,
+    EvictYoungest,
+    NoPreemption,
+    PreemptionCandidate,
+    PreemptionConfig,
+    PreemptionCostModel,
+    PreemptionPolicy,
+)
 from repro.serving.prefill import (
     LinearPrefillModel,
     PrefillConfig,
@@ -65,12 +82,23 @@ __all__ = [
     "EngineResult",
     "ServingEngine",
     "serve",
+    "CapacityExceeded",
     "DecodeSystem",
     "KVAllocator",
+    "KVLifecycle",
+    "PreemptedState",
     "ServingResult",
     "StepResult",
     "allocator_for",
     "build_allocator",
+    "EvictLargest",
+    "EvictLRU",
+    "EvictYoungest",
+    "NoPreemption",
+    "PreemptionCandidate",
+    "PreemptionConfig",
+    "PreemptionCostModel",
+    "PreemptionPolicy",
     "StepLatencyCache",
     "LatencyStats",
     "LifecycleTracker",

@@ -21,6 +21,16 @@ blocking (the request decodes only after its whole prefill elapses) or
 chunked (prefill interleaves with decode steps on the same hardware), so
 TTFT reflects prompt length instead of just queueing plus one decode step.
 
+An optional :class:`~repro.serving.preemption.PreemptionConfig` flips the
+engine from the admit-to-completion contract to the incremental
+:class:`~repro.serving.interfaces.KVLifecycle` contract: admission
+reserves only the prompt, the KV cache grows chunk by chunk, and when a
+grow raises :class:`~repro.memory.lifecycle.CapacityExceeded` the policy
+picks a victim to page out (``evict-lru`` / ``evict-largest`` /
+``evict-youngest``).  Victims re-queue through admission and are restored
+with their saved state; swap or recompute costs are charged to the clock
+and surfaced as preemption metrics on :class:`EngineResult`.
+
 A trace whose requests all arrive at time 0 and fit the context window
 (``prompt + output <= max_context_tokens``) served under FCFS reproduces
 the legacy loop's arithmetic exactly (same admissions, same strides, same
@@ -35,17 +45,19 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.memory.lifecycle import CapacityExceeded, PreemptedState
 from repro.memory.static_alloc import AllocationError
 from repro.pim.simulator import ZERO_BREAKDOWN
 from repro.serving.admission import AdmissionCandidate, AdmissionPolicy, FCFSAdmission
 from repro.serving.interfaces import (
     DecodeSystem,
-    KVAllocator,
+    KVLifecycle,
     ServingResult,
     allocator_for,
 )
 from repro.serving.latency_cache import StepLatencyCache
 from repro.serving.lifecycle import LatencyStats, LifecycleTracker, RequestRecord
+from repro.serving.preemption import PreemptionCandidate, PreemptionConfig
 from repro.serving.prefill import PrefillConfig
 from repro.workloads.traces import RequestTrace
 
@@ -67,6 +79,15 @@ class EngineResult(ServingResult):
     requests_dropped: int = 0
     prefill_mode: str = "none"
     prefill_seconds_total: float = 0.0
+    preemption_policy: str = "none"
+    #: Victim evictions performed to resolve mid-decode capacity pressure.
+    preemptions: int = 0
+    #: Clock charged to page-out/page-in work (swap or recompute).
+    preemption_overhead_s: float = 0.0
+    #: Tokens re-prefilled by recompute-mode restores.
+    recompute_tokens: int = 0
+    #: Mean paged-out-to-restored stall per preemption (requeue delay).
+    requeue_delay_mean_s: float = 0.0
 
     @property
     def ttft_mean_s(self) -> float:
@@ -99,9 +120,21 @@ class _ActiveRequest:
     #: Chunked prefill: prompt tokens that must be prefilled before decode.
     prefill_total: int = 0
     prefill_done: int = 0
+    #: Clock of the most recent admission or restore (preemption policies).
+    admitted_s: float = 0.0
+    #: Clock of the most recent decode progress (LRU preemption).
+    last_step_s: float = 0.0
 
     def decode_ready(self, clock: float) -> bool:
         return self.ready_s <= clock and self.prefill_done >= self.prefill_total
+
+
+@dataclass
+class _PreemptedRequest:
+    """A paged-out request waiting in the restore queue."""
+
+    entry: _ActiveRequest
+    state: PreemptedState
 
 
 @dataclass
@@ -120,6 +153,16 @@ class ServingEngine:
         prefill: Optional prefill cost model and charging discipline (see
             :mod:`repro.serving.prefill`).  ``None`` keeps the legacy
             behaviour of free prompt processing, which the parity tests pin.
+        preemption: Optional preemption policy and cost model (see
+            :mod:`repro.serving.preemption`).  ``None`` -- or a config
+            whose policy is ``"none"`` -- keeps the admit-to-completion
+            contract: the allocator commits each request's *final* context
+            at admission and growth never fails, which the parity tests
+            pin.  An active config flips the engine to the incremental
+            :class:`~repro.serving.interfaces.KVLifecycle` contract:
+            admission checks only the prompt, requests grow chunk by
+            chunk, and mid-decode capacity pressure is resolved by paging
+            victims out and re-queueing them through admission.
     """
 
     system: DecodeSystem
@@ -128,12 +171,23 @@ class ServingEngine:
     step_stride: int = 1
     latency_cache: StepLatencyCache | None = None
     prefill: PrefillConfig | None = None
+    preemption: PreemptionConfig | None = None
 
     def __post_init__(self) -> None:
         if self.step_stride < 1:
             raise ValueError("step_stride must be >= 1")
         if self.max_batch_size is not None and self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+
+    @property
+    def lifecycle_admission(self) -> bool:
+        """Whether admission follows the incremental lifecycle contract.
+
+        True when an active preemption policy is attached: admission then
+        reserves only a request's *current* context instead of its final
+        one (the router's shadow allocators mirror the same rule).
+        """
+        return self.preemption is not None and self.preemption.active
 
     # -- helpers -----------------------------------------------------------
 
@@ -155,27 +209,87 @@ class ServingEngine:
         candidates.sort(key=lambda candidate: candidate.arrival_s)
         return deque(candidates)
 
+    def _restore(
+        self,
+        preempted: deque[_PreemptedRequest],
+        active: dict[int, _ActiveRequest],
+        allocator: KVLifecycle,
+        tracker: LifecycleTracker,
+        clock: float,
+    ) -> float:
+        """Restore paged-out requests in preemption order; returns clock charge.
+
+        Restores run before fresh admissions each round: a preempted
+        request has already consumed decode (and possibly prefill) work,
+        so letting it finish wastes the least capacity.  The queue is
+        FCFS on preemption time, bounding any one request's stall.
+        """
+        overhead = 0.0
+        assert self.preemption is not None
+        cost = self.preemption.cost
+        prefill_model = self.prefill.model if self.prefill is not None else None
+        while preempted:
+            if self.max_batch_size is not None and len(active) >= self.max_batch_size:
+                break
+            head = preempted[0]
+            if not allocator.can_admit(head.state.tokens):
+                break
+            preempted.popleft()
+            allocator.restore(head.state.request_id, head.state)
+            overhead += cost.restore_seconds(head.state, prefill_model)
+            tracker.on_restore(
+                head.state.request_id, clock, cost.restore_recompute_tokens(head.state)
+            )
+            entry = head.entry
+            entry.admitted_s = clock
+            entry.last_step_s = clock
+            active[entry.request_id] = entry
+        return overhead
+
     def _admit(
         self,
         arrived: list[AdmissionCandidate],
         active: dict[int, _ActiveRequest],
-        allocator: KVAllocator,
+        allocator: KVLifecycle,
         tracker: LifecycleTracker,
         clock: float,
-    ) -> int:
-        """Run one admission round; returns the number of requests admitted."""
+        preempted: deque[_PreemptedRequest] | None = None,
+    ) -> tuple[int, float]:
+        """Run one admission round.
+
+        Returns the number of requests admitted and the clock charge of
+        any restores performed (zero under the legacy contract).
+        """
+        lifecycle = self.lifecycle_admission
+        overhead = 0.0
+        if lifecycle and preempted:
+            overhead = self._restore(preempted, active, allocator, tracker, clock)
         admitted: set[int] = set()
         for candidate in self.admission.order(arrived):
             if self.max_batch_size is not None and len(active) >= self.max_batch_size:
                 break
-            if allocator.can_admit(candidate.final_tokens):
-                allocator.reserve(
-                    candidate.request_id, candidate.prompt_tokens, candidate.final_tokens
-                )
+            if lifecycle:
+                # Incremental contract: admit against the prompt only, but
+                # never admit work whose final context exceeds *total*
+                # capacity -- it would inevitably die mid-decode with no
+                # victim able to save it.
+                could_ever = allocator.could_ever_fit(candidate.final_tokens)
+                fits = could_ever and allocator.can_admit(candidate.prompt_tokens)
+            else:
+                fits = allocator.can_admit(candidate.final_tokens)
+            if fits:
+                if lifecycle:
+                    allocator.reserve(candidate.request_id, candidate.prompt_tokens)
+                else:
+                    allocator.reserve(
+                        candidate.request_id, candidate.prompt_tokens, candidate.final_tokens
+                    )
                 entry = _ActiveRequest(
                     request_id=candidate.request_id,
                     context=candidate.prompt_tokens,
                     remaining=candidate.decode_tokens,
+                    admitted_s=clock,
+                    last_step_s=clock,
                 )
                 if self.prefill is not None:
                     if self.prefill.chunk_tokens is None:
@@ -199,7 +313,64 @@ class ServingEngine:
             arrived[:] = [
                 candidate for candidate in arrived if candidate.request_id not in admitted
             ]
-        return len(admitted)
+        return len(admitted), overhead
+
+    def _grow_or_evict(
+        self,
+        entry: _ActiveRequest,
+        stride: int,
+        active: dict[int, _ActiveRequest],
+        allocator: KVLifecycle,
+        tracker: LifecycleTracker,
+        clock: float,
+        preempted: deque[_PreemptedRequest],
+        preempted_now: set[int],
+    ) -> float:
+        """Grow ``entry`` by ``stride``, evicting victims until it fits.
+
+        Victims leave ``active`` for the restore queue; their ids are added
+        to ``preempted_now`` so the caller skips their turn this stride.
+        Returns the clock charge of the evictions.
+
+        Raises:
+            AllocationError: if no victim remains and the grow still fails
+                (unreachable when admission enforces ``could_ever_fit``).
+        """
+        assert self.preemption is not None
+        overhead = 0.0
+        while True:
+            try:
+                allocator.grow(entry.request_id, stride)
+                return overhead
+            except CapacityExceeded:
+                candidates = [
+                    PreemptionCandidate(
+                        request_id=other.request_id,
+                        context_tokens=other.context,
+                        admitted_s=other.admitted_s,
+                        last_decode_s=other.last_step_s,
+                    )
+                    for other in active.values()
+                    if other.request_id != entry.request_id
+                ]
+                victim_id = self.preemption.policy.select(candidates)
+                if victim_id is None:
+                    raise AllocationError(
+                        f"request {entry.request_id} cannot grow its KV cache and "
+                        f"policy {self.preemption.policy.name!r} offers no victim; "
+                        "the request exceeds what preemption can free"
+                    ) from None
+                if victim_id == entry.request_id or victim_id not in active:
+                    raise ValueError(
+                        f"preemption policy {self.preemption.policy.name!r} chose "
+                        f"invalid victim {victim_id} for grower {entry.request_id}"
+                    ) from None
+                victim = active.pop(victim_id)
+                state = allocator.preempt(victim_id)
+                overhead += self.preemption.cost.evict_seconds(state)
+                tracker.on_preempt(victim_id, clock)
+                preempted.append(_PreemptedRequest(entry=victim, state=state))
+                preempted_now.add(victim_id)
 
     # -- main loop ---------------------------------------------------------
 
@@ -216,6 +387,13 @@ class ServingEngine:
         future = self._candidates(trace)
         arrived: list[AdmissionCandidate] = []
         active: dict[int, _ActiveRequest] = {}
+        preempted: deque[_PreemptedRequest] = deque()
+        lifecycle = self.lifecycle_admission
+        preemption_count = 0
+        preemption_overhead = 0.0
+        # Preemption terminates (each eviction lets the grower advance and
+        # restores never evict), but a generous ceiling guards policy bugs.
+        preemption_budget = 1000 + 100 * len(trace.requests)
         tracker = LifecycleTracker()
         for candidate in future:
             tracker.on_arrival(
@@ -250,13 +428,20 @@ class ServingEngine:
         # (and the skip-over policies' re-sort) during backlog.
         admission_dirty = True
 
-        while future or arrived or active:
+        while future or arrived or active or preempted:
             while future and future[0].arrival_s <= clock:
                 arrived.append(future.popleft())
                 admission_dirty = True
 
             if admission_dirty:
-                served += self._admit(arrived, active, allocator, tracker, clock)
+                admitted_now, restore_overhead = self._admit(
+                    arrived, active, allocator, tracker, clock, preempted
+                )
+                served += admitted_now
+                if restore_overhead:
+                    busy_seconds += restore_overhead
+                    clock += restore_overhead
+                    preemption_overhead += restore_overhead
                 admission_dirty = False
 
             if not active:
@@ -285,6 +470,13 @@ class ServingEngine:
                     idle_seconds += future[0].arrival_s - clock
                     clock = future[0].arrival_s
                     continue
+                if preempted:
+                    # Unreachable: a drained allocator always accepts the
+                    # restore-queue head at the next admission round.
+                    raise AllocationError(
+                        f"{len(preempted)} preempted request(s) can never be "
+                        "restored; the allocator is empty yet rejects them"
+                    )
                 break
 
             # Chunked prefill: advance at most chunk_tokens of waiting
@@ -366,20 +558,63 @@ class ServingEngine:
                 # admission headroom and last-chunk fragmentation.
                 capacity_samples.append(allocator.used_bytes / allocator.capacity_bytes)
 
-            finished: list[int] = []
-            for entry in decoding:
-                allocator.append_token(entry.request_id, stride)
-                entry.context += stride
-                entry.remaining -= stride
-                tracker.on_tokens(entry.request_id, stride, clock, step.seconds)
-                if entry.remaining <= 0:
-                    finished.append(entry.request_id)
-            for request_id in finished:
-                allocator.release(request_id)
-                del active[request_id]
-                tracker.on_finish(request_id, clock)
-            if finished:
-                admission_dirty = True
+            if lifecycle:
+                # Incremental contract: grow each request chunk by chunk,
+                # resolving CapacityExceeded by evicting victims.  Finished
+                # requests release immediately so later growers in the same
+                # stride see the freed chunks before resorting to eviction.
+                finished_any = False
+                preempted_now: set[int] = set()
+                evict_overhead = 0.0
+                lost_tokens = 0
+                for entry in decoding:
+                    if entry.request_id in preempted_now:
+                        # Evicted by an earlier grower this stride: the
+                        # batch-wide token count charged above never
+                        # materialised for this request.
+                        lost_tokens += stride
+                        continue
+                    evict_overhead += self._grow_or_evict(
+                        entry, stride, active, allocator, tracker, clock, preempted, preempted_now
+                    )
+                    entry.context += stride
+                    entry.remaining -= stride
+                    entry.last_step_s = clock
+                    tracker.on_tokens(entry.request_id, stride, clock, step.seconds)
+                    if entry.remaining <= 0:
+                        allocator.release(entry.request_id)
+                        del active[entry.request_id]
+                        tracker.on_finish(entry.request_id, clock)
+                        finished_any = True
+                total_tokens -= lost_tokens
+                preemption_count += len(preempted_now)
+                if preemption_count > preemption_budget:
+                    raise AllocationError(
+                        f"{preemption_count} preemptions exceed the livelock "
+                        f"guard ({preemption_budget}); the policy "
+                        f"{self.preemption.policy.name!r} is thrashing"
+                    )
+                if evict_overhead:
+                    busy_seconds += evict_overhead
+                    clock += evict_overhead
+                    preemption_overhead += evict_overhead
+                if finished_any or preempted_now:
+                    admission_dirty = True
+            else:
+                finished: list[int] = []
+                for entry in decoding:
+                    allocator.append_token(entry.request_id, stride)
+                    entry.context += stride
+                    entry.remaining -= stride
+                    tracker.on_tokens(entry.request_id, stride, clock, step.seconds)
+                    if entry.remaining <= 0:
+                        finished.append(entry.request_id)
+                for request_id in finished:
+                    allocator.release(request_id)
+                    del active[request_id]
+                    tracker.on_finish(request_id, clock)
+                if finished:
+                    admission_dirty = True
 
         def _mean(samples: list[float]) -> float:
             return sum(samples) / len(samples) if samples else 0.0
@@ -427,6 +662,22 @@ class ServingEngine:
             prefill_seconds_total=sum(
                 record.prefill_s for record in tracker.records.values()
             ),
+            preemption_policy=(
+                self.preemption.policy.name if self.preemption is not None else "none"
+            ),
+            preemptions=preemption_count,
+            preemption_overhead_s=preemption_overhead,
+            recompute_tokens=sum(
+                record.recompute_tokens for record in tracker.records.values()
+            ),
+            # Every preemption is eventually restored (the run cannot end
+            # with a non-empty restore queue), so stalls/preemptions is the
+            # mean requeue delay.
+            requeue_delay_mean_s=(
+                sum(record.stall_s for record in tracker.records.values()) / preemption_count
+                if preemption_count
+                else 0.0
+            ),
         )
 
 
@@ -438,6 +689,7 @@ def serve(
     step_stride: int = 1,
     latency_cache: StepLatencyCache | None = None,
     prefill: PrefillConfig | None = None,
+    preemption: PreemptionConfig | None = None,
     system_name: str = "",
 ) -> EngineResult:
     """One-shot convenience wrapper around :class:`ServingEngine`."""
@@ -448,5 +700,6 @@ def serve(
         step_stride=step_stride,
         latency_cache=latency_cache,
         prefill=prefill,
+        preemption=preemption,
     )
     return engine.run(trace, system_name=system_name)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.memory.chunked_alloc import ChunkedAllocator
+from repro.memory.lifecycle import CapacityExceeded, PreemptedState
 from repro.memory.static_alloc import StaticAllocator
 from repro.pim.simulator import CycleBreakdown, ZERO_BREAKDOWN
 from repro.serving.prefill import SupportsPrefill
@@ -27,6 +28,9 @@ __all__ = [
     "DecodeSystem",
     "SupportsPrefill",
     "KVAllocator",
+    "KVLifecycle",
+    "CapacityExceeded",
+    "PreemptedState",
     "build_allocator",
     "allocator_for",
     "ServingResult",
@@ -80,11 +84,19 @@ class DecodeSystem(Protocol):
 
 @runtime_checkable
 class KVAllocator(Protocol):
-    """Unified KV-cache allocator interface.
+    """Unified KV-cache allocator interface (the PR 1 admission contract).
 
-    Both :class:`~repro.memory.static_alloc.StaticAllocator` and
-    :class:`~repro.memory.chunked_alloc.ChunkedAllocator` implement this
-    protocol, so the engine never inspects the concrete allocator type.
+    ``can_admit(tokens)`` answers whether a request needing ``tokens`` of
+    context fits right now; ``reserve`` admits it.  Passing
+    ``final_tokens`` commits the request's final context up front (the
+    legacy admit-to-completion guarantee); omitting it admits against only
+    the current context, deferring growth to :meth:`KVLifecycle.grow`.
+
+    :class:`~repro.memory.static_alloc.StaticAllocator`,
+    :class:`~repro.memory.chunked_alloc.ChunkedAllocator` and
+    :class:`~repro.core.dpa.DPAController` all implement this protocol
+    (and the full :class:`KVLifecycle` extension), so the engine never
+    inspects the concrete allocator type.
     """
 
     capacity_bytes: int
@@ -95,13 +107,39 @@ class KVAllocator(Protocol):
     @property
     def num_requests(self) -> int: ...
 
-    def can_admit(self, final_tokens: int) -> bool: ...
+    def can_admit(self, tokens: int) -> bool: ...
 
-    def reserve(self, request_id: int, initial_tokens: int, final_tokens: int) -> None: ...
+    def reserve(
+        self, request_id: int, initial_tokens: int, final_tokens: int | None = None
+    ) -> None: ...
 
     def append_token(self, request_id: int, count: int = 1) -> None: ...
 
     def release(self, request_id: int) -> None: ...
+
+
+@runtime_checkable
+class KVLifecycle(KVAllocator, Protocol):
+    """Request-lifecycle allocator contract: grow, preempt, restore.
+
+    The lifecycle extension is what makes preemption-aware serving
+    possible: requests are admitted against their *current* context
+    (``reserve`` without ``final_tokens``), grown incrementally with
+    :meth:`grow` -- which raises
+    :class:`~repro.memory.lifecycle.CapacityExceeded` under pressure --
+    and paged out/in with :meth:`preempt`/:meth:`restore` when a
+    :class:`~repro.serving.preemption.PreemptionPolicy` picks a victim.
+    :meth:`could_ever_fit` distinguishes transient pressure from requests
+    that can never be served (they exceed total capacity).
+    """
+
+    def could_ever_fit(self, tokens: int) -> bool: ...
+
+    def grow(self, request_id: int, count: int = 1) -> None: ...
+
+    def preempt(self, request_id: int) -> PreemptedState: ...
+
+    def restore(self, request_id: int, state: PreemptedState) -> None: ...
 
 
 def build_allocator(
@@ -109,7 +147,7 @@ def build_allocator(
     bytes_per_token: int,
     max_context_tokens: int,
     dynamic: bool,
-) -> KVAllocator:
+) -> KVLifecycle:
     """Construct the allocator matching a system's memory-management mode.
 
     Args:
@@ -131,7 +169,7 @@ def build_allocator(
     )
 
 
-def allocator_for(system: DecodeSystem) -> KVAllocator:
+def allocator_for(system: DecodeSystem) -> KVLifecycle:
     """Build the allocator matching a system's capacity properties."""
     return build_allocator(
         capacity_bytes=system.kv_capacity_bytes,

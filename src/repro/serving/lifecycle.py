@@ -33,10 +33,23 @@ class RequestRecord:
     finish_s: float = math.nan
     generated: int = 0
     prefill_s: float = 0.0
+    #: Times this request was paged out by a preemption policy.
+    preemptions: int = 0
+    #: Total time spent paged out waiting for re-admission (requeue delay).
+    stall_s: float = 0.0
+    #: Tokens re-prefilled by recompute-mode restores.
+    recompute_tokens: int = 0
+    #: Clock of the pending preemption (``nan`` while the request is live).
+    preempted_s: float = math.nan
 
     @property
     def finished(self) -> bool:
         return not math.isnan(self.finish_s)
+
+    @property
+    def preempted(self) -> bool:
+        """Whether the request is currently paged out."""
+        return not math.isnan(self.preempted_s)
 
     @property
     def queue_delay_s(self) -> float:
@@ -160,6 +173,19 @@ class LifecycleTracker:
         if record.generated == 0 and count > 0:
             record.first_token_s = step_end_s - step_seconds * (count - 1)
         record.generated += count
+
+    def on_preempt(self, request_id: int, now_s: float) -> None:
+        """Record a page-out: the request leaves the batch and stalls."""
+        record = self.records[request_id]
+        record.preemptions += 1
+        record.preempted_s = now_s
+
+    def on_restore(self, request_id: int, now_s: float, recompute_tokens: int = 0) -> None:
+        """Record a page-in: close the stall window opened by ``on_preempt``."""
+        record = self.records[request_id]
+        record.stall_s += now_s - record.preempted_s
+        record.preempted_s = math.nan
+        record.recompute_tokens += recompute_tokens
 
     def on_finish(self, request_id: int, now_s: float) -> None:
         self.records[request_id].finish_s = now_s

@@ -38,7 +38,7 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.api.registry import register_routing_policy
 from repro.serving.engine import EngineResult, ServingEngine
-from repro.serving.interfaces import KVAllocator, allocator_for
+from repro.serving.interfaces import KVLifecycle, allocator_for
 from repro.serving.lifecycle import LatencyStats, RequestRecord
 from repro.workloads.traces import Request, RequestTrace, partition_trace
 
@@ -53,7 +53,14 @@ class ReplicaState:
     The router does not see the future: completion times are *estimates*
     (decode tokens times a probed step latency, plus the replica's prefill
     model when it has one).  The shadow allocator mirrors what the replica
-    would reserve, which is what ``can_admit``-based routing consults.
+    would reserve, which is what ``can_admit``-based routing consults --
+    under the incremental lifecycle contract (an engine with an active
+    preemption policy) the shadow reserves only the *prompt*, matching the
+    replica's own admission rule.
+
+    ``est_step_s`` starts from a one-off probe; a router with EWMA feedback
+    overrides it with the replica's measured TPOT from earlier runs, which
+    is what makes placement sharpen on heterogeneous fleets.
     """
 
     def __init__(
@@ -61,16 +68,17 @@ class ReplicaState:
         index: int,
         engine: ServingEngine,
         probe_context_tokens: int = DEFAULT_PROBE_CONTEXT_TOKENS,
+        est_step_s: float | None = None,
     ) -> None:
         self.index = index
         self.engine = engine
         self.system = engine.system
-        self.shadow: KVAllocator = allocator_for(self.system)
-        # A never-mutated allocator answers "could this request *ever* be
-        # admitted on an empty replica?" without re-deriving capacity math.
-        self._pristine: KVAllocator = allocator_for(self.system)
-        probe = max(1, min(probe_context_tokens, self.system.max_context_tokens))
-        self.est_step_s = self.system.decode_step([probe]).seconds
+        self.lifecycle = engine.lifecycle_admission
+        self.shadow: KVLifecycle = allocator_for(self.system)
+        if est_step_s is None:
+            probe = max(1, min(probe_context_tokens, self.system.max_context_tokens))
+            est_step_s = self.system.decode_step([probe]).seconds
+        self.est_step_s = est_step_s
         self.outstanding = 0
         self.reserved_tokens = 0
         self._completions: list[tuple[float, int]] = []
@@ -79,13 +87,19 @@ class ReplicaState:
     def _clamped_final_tokens(self, request: Request) -> int:
         return min(request.final_context, self.system.max_context_tokens)
 
+    def _admission_tokens(self, request: Request) -> int:
+        """Tokens the replica's admission would check for this request."""
+        if self.lifecycle:
+            return min(request.prompt_tokens, self.system.max_context_tokens)
+        return self._clamped_final_tokens(request)
+
     def can_admit(self, request: Request) -> bool:
         """Whether the shadow allocator accepts the request right now."""
-        return self.shadow.can_admit(self._clamped_final_tokens(request))
+        return self.shadow.can_admit(self._admission_tokens(request))
 
     def could_ever_admit(self, request: Request) -> bool:
         """Whether an empty replica could admit the request at all."""
-        return self._pristine.can_admit(self._clamped_final_tokens(request))
+        return self.shadow.could_ever_fit(self._clamped_final_tokens(request))
 
     def estimated_service_s(self, request: Request) -> float:
         estimate = self.est_step_s * max(1, request.output_tokens)
@@ -97,7 +111,7 @@ class ReplicaState:
 
     def assign(self, request: Request, now_s: float) -> None:
         """Record a dispatch: bump load counters and book a completion."""
-        tokens = self._clamped_final_tokens(request)
+        tokens = self._admission_tokens(request)
         in_shadow = self.shadow.can_admit(tokens)
         if in_shadow:
             self.shadow.reserve(request.request_id, tokens, tokens)
@@ -152,7 +166,15 @@ class RoundRobinRouting:
 
 
 class LeastOutstandingRouting:
-    """Fewest in-flight requests wins; ties go to the lowest replica index."""
+    """Smallest estimated backlog wins; ties go to the lowest replica index.
+
+    Backlog is ``outstanding * est_step_s``: in-flight requests weighted by
+    the replica's estimated per-token service time.  On a homogeneous
+    fleet every estimate is equal, so the policy degenerates to the
+    classic fewest-outstanding rule; on a heterogeneous fleet -- or once
+    router EWMA feedback has updated the estimates from measured TPOT --
+    a slow replica counts as "more loaded" at equal queue depth.
+    """
 
     name = "least-outstanding"
 
@@ -160,7 +182,10 @@ class LeastOutstandingRouting:
         pass
 
     def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
-        best = min(replicas, key=lambda state: (state.outstanding, state.index))
+        best = min(
+            replicas,
+            key=lambda state: (state.outstanding * state.est_step_s, state.index),
+        )
         return best.index
 
 
@@ -322,17 +347,50 @@ class ReplicaRouter:
         policy: Routing policy (default round-robin).
         probe_context_tokens: Context length used to probe each replica's
             decode-step latency for the router's service-time estimates.
+        ewma_alpha: Feedback weight for measured per-replica TPOT.  After
+            every :meth:`run`, each replica's service-time estimate is
+            updated as ``(1 - alpha) * old + alpha * measured_tpot`` and
+            used by the *next* dispatch, so load-dependent slowness a
+            single-request probe cannot see (batching, long contexts)
+            sharpens placement over successive runs.  ``0`` disables
+            feedback and keeps probe-only estimates.
     """
 
     replicas: Sequence[ServingEngine]
     policy: RoutingPolicy = field(default_factory=RoundRobinRouting)
     probe_context_tokens: int = DEFAULT_PROBE_CONTEXT_TOKENS
+    ewma_alpha: float = 0.3
+    #: Learned per-replica step-time estimates (replica index -> seconds).
+    _service_estimates: dict[int, float] = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.replicas:
             raise ValueError("a ReplicaRouter needs at least one replica")
         if self.probe_context_tokens < 1:
             raise ValueError("probe_context_tokens must be >= 1")
+        if not 0.0 <= self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be within [0, 1]")
+
+    @property
+    def service_time_estimates(self) -> dict[int, float]:
+        """EWMA-learned per-replica step-time estimates (empty before feedback)."""
+        return dict(self._service_estimates)
+
+    def _update_estimates(self, results: Sequence[EngineResult]) -> None:
+        """Fold each replica's measured mean TPOT into its EWMA estimate."""
+        if self.ewma_alpha <= 0.0:
+            return
+        for index, result in enumerate(results):
+            measured = result.latency.tpot_mean_s
+            if measured <= 0.0:
+                continue  # replica served nothing (or single-token requests)
+            previous = self._service_estimates.get(index)
+            if previous is None:
+                self._service_estimates[index] = measured
+            else:
+                self._service_estimates[index] = (
+                    (1.0 - self.ewma_alpha) * previous + self.ewma_alpha * measured
+                )
 
     @classmethod
     def homogeneous(
@@ -341,6 +399,7 @@ class ReplicaRouter:
         num_replicas: int,
         policy: RoutingPolicy | None = None,
         probe_context_tokens: int = DEFAULT_PROBE_CONTEXT_TOKENS,
+        ewma_alpha: float = 0.3,
     ) -> "ReplicaRouter":
         """Build a router over ``num_replicas`` identical engines."""
         if num_replicas < 1:
@@ -349,6 +408,7 @@ class ReplicaRouter:
             replicas=tuple(engine_factory() for _ in range(num_replicas)),
             policy=policy if policy is not None else RoundRobinRouting(),
             probe_context_tokens=probe_context_tokens,
+            ewma_alpha=ewma_alpha,
         )
 
     def dispatch(self, trace: RequestTrace) -> list[int | None]:
@@ -359,7 +419,12 @@ class ReplicaRouter:
         policy can reject a request but never stall the pass.
         """
         states = [
-            ReplicaState(index, engine, self.probe_context_tokens)
+            ReplicaState(
+                index,
+                engine,
+                self.probe_context_tokens,
+                est_step_s=self._service_estimates.get(index),
+            )
             for index, engine in enumerate(self.replicas)
         ]
         self.policy.reset()
@@ -393,4 +458,5 @@ class ReplicaRouter:
             base = system_name or type(engine.system).__name__
             results.append(engine.run(subtrace, system_name=f"{base}[replica {index}]"))
         dropped = sum(1 for assignment in assignments if assignment is None)
+        self._update_estimates(results)
         return FleetResult.from_replicas(self.policy.name, results, router_dropped=dropped)
