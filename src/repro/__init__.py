@@ -49,6 +49,7 @@ from repro.api import (
     ParallelismSpec,
     PreemptionSpec,
     PrefillSpec,
+    PrefixCacheSpec,
     RouterSpec,
     RunReport,
     SystemSpec,
@@ -81,6 +82,8 @@ from repro.serving import (
     PreemptionConfig,
     PreemptionCostModel,
     PrefillConfig,
+    PrefixCache,
+    PrefixCacheStats,
     PriorityAdmission,
     ReplicaRouter,
     RoundRobinRouting,
@@ -94,6 +97,7 @@ from repro.system.serving import ServingResult, simulate_serving
 from repro.workloads.datasets import get_dataset, list_datasets
 from repro.workloads.traces import (
     generate_trace,
+    multi_turn_trace,
     partition_trace,
     periodic_priorities,
     poisson_arrivals,
@@ -141,8 +145,12 @@ __all__ = [
     "PrefillConfig",
     "LinearPrefillModel",
     "prefill_model_for",
+    # prefix cache
+    "PrefixCache",
+    "PrefixCacheStats",
     # traces
     "generate_trace",
+    "multi_turn_trace",
     "poisson_arrivals",
     "replay_arrivals",
     "partition_trace",
@@ -157,6 +165,7 @@ __all__ = [
     "AdmissionSpec",
     "PreemptionSpec",
     "PrefillSpec",
+    "PrefixCacheSpec",
     "TraceSpec",
     "RouterSpec",
     "RunReport",

@@ -53,6 +53,7 @@ _EXPORTS = {
     "AdmissionSpec": "spec",
     "PreemptionSpec": "spec",
     "PrefillSpec": "spec",
+    "PrefixCacheSpec": "spec",
     "TraceSpec": "spec",
     "RouterSpec": "spec",
     "apply_override": "spec",

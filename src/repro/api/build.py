@@ -39,6 +39,7 @@ from repro.serving.interfaces import DecodeSystem
 from repro.serving.latency_cache import StepLatencyCache
 from repro.serving.preemption import PreemptionConfig, PreemptionCostModel
 from repro.serving.prefill import PrefillConfig
+from repro.serving.prefix_cache import PrefixCache
 from repro.serving.router import ReplicaRouter
 from repro.system.parallelism import ParallelismPlan
 from repro.workloads.traces import (
@@ -104,7 +105,11 @@ def build_trace(spec: ExperimentSpec, model: LLMConfig | None = None) -> Request
     trace = source(spec.trace, model.context_window, trace_seed)
     if spec.trace.arrival == "poisson":
         trace = poisson_arrivals(trace, spec.trace.rate_rps, seed=arrival_seed)
-    if spec.trace.num_sessions > 0:
+    if spec.trace.num_sessions > 0 and not any(
+        request.session is not None for request in trace.requests
+    ):
+        # Sources that already tag sessions (e.g. "multi-turn") keep their
+        # layout; random assignment would sever the prefix relation.
         trace = random_sessions(trace, spec.trace.num_sessions, seed=session_seed)
     if spec.trace.priority_every > 0:
         trace = periodic_priorities(trace, spec.trace.priority_every, spec.trace.priority_value)
@@ -181,6 +186,13 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
             if spec.latency_cache_bucket is not None
             else None
         )
+        # One PrefixCache per engine: prefixes live on the replica that
+        # served them, which is what session-affinity routing exploits.
+        prefix_cache = (
+            PrefixCache(capacity_tokens=spec.prefix_cache.capacity_tokens)
+            if spec.prefix_cache.enabled
+            else None
+        )
         return ServingEngine(
             system=system,
             admission=admission_factory(),
@@ -189,6 +201,7 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
             latency_cache=cache,
             prefill=prefill,
             preemption=preemption_factory(),
+            prefix_cache=prefix_cache,
         )
 
     if spec.router is None:

@@ -59,6 +59,11 @@ class RunReport:
         preemption_overhead_s: Clock charged to page-out/page-in work.
         requeue_delay_mean_s: Mean paged-out-to-restored stall per
             preemption (union of request records for fleets).
+        prefix_cache_enabled: Whether each engine carried a prefix cache.
+        prefix_hits / prefix_misses: Prefix-cache lookups across replicas.
+        prefix_hit_tokens: Prompt tokens discounted from prefill/restore
+            work by cache hits.
+        prefix_evictions: Session prefixes evicted under capacity pressure.
     """
 
     spec: "ExperimentSpec"
@@ -87,6 +92,11 @@ class RunReport:
     recompute_tokens: int = 0
     preemption_overhead_s: float = 0.0
     requeue_delay_mean_s: float = 0.0
+    prefix_cache_enabled: bool = False
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_hit_tokens: int = 0
+    prefix_evictions: int = 0
     _fleet: FleetResult | None = field(default=None, repr=False, compare=False)
 
     # -- derived metrics ----------------------------------------------------
@@ -129,6 +139,12 @@ class RunReport:
     def latency_p99_s(self) -> float:
         return self.latency.latency_p99_s
 
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fleet-wide prefix-cache hit fraction (0 when the cache is off)."""
+        lookups = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / lookups if lookups else 0.0
+
     # -- adapters -----------------------------------------------------------
 
     @staticmethod
@@ -161,6 +177,11 @@ class RunReport:
             recompute_tokens=result.recompute_tokens,
             preemption_overhead_s=result.preemption_overhead_s,
             requeue_delay_mean_s=result.requeue_delay_mean_s,
+            prefix_cache_enabled=result.prefix_cache_enabled,
+            prefix_hits=result.prefix_hits,
+            prefix_misses=result.prefix_misses,
+            prefix_hit_tokens=result.prefix_hit_tokens,
+            prefix_evictions=result.prefix_evictions,
         )
 
     @staticmethod
@@ -212,6 +233,13 @@ class RunReport:
             requeue_delay_mean_s=(
                 total_stall / total_preemptions if total_preemptions else 0.0
             ),
+            prefix_cache_enabled=any(
+                result.prefix_cache_enabled for result in replicas
+            ),
+            prefix_hits=fleet.prefix_hits,
+            prefix_misses=fleet.prefix_misses,
+            prefix_hit_tokens=fleet.prefix_hit_tokens,
+            prefix_evictions=sum(result.prefix_evictions for result in replicas),
             _fleet=fleet,
         )
 
@@ -268,6 +296,12 @@ class RunReport:
                 "recompute_tokens": self.recompute_tokens,
                 "preemption_overhead_s": self.preemption_overhead_s,
                 "requeue_delay_mean_s": self.requeue_delay_mean_s,
+                "prefix_cache_enabled": self.prefix_cache_enabled,
+                "prefix_hits": self.prefix_hits,
+                "prefix_misses": self.prefix_misses,
+                "prefix_hit_rate": self.prefix_hit_rate,
+                "prefix_hit_tokens": self.prefix_hit_tokens,
+                "prefix_evictions": self.prefix_evictions,
                 "latency": dataclasses.asdict(self.latency),
             },
             "replicas": [
@@ -281,6 +315,9 @@ class RunReport:
                     "ttft_p95_ms": result.latency.ttft_p95_s * 1e3,
                     "latency_p99_ms": result.latency.latency_p99_s * 1e3,
                     "preemptions": result.preemptions,
+                    "prefix_hits": result.prefix_hits,
+                    "prefix_misses": result.prefix_misses,
+                    "prefix_hit_rate": result.prefix_hit_rate,
                 }
                 for result in self.replica_results
             ],

@@ -281,6 +281,32 @@ class PreemptionSpec:
 
 
 @dataclass(frozen=True)
+class PrefixCacheSpec:
+    """Per-replica prefix/KV reuse for multi-turn sessions.
+
+    Attributes:
+        enabled: Attach a :class:`~repro.serving.prefix_cache.PrefixCache`
+            to every engine.  Disabled (the default) reproduces the
+            no-cache arithmetic bit-for-bit, which the parity tests pin.
+        capacity_tokens: Token budget shared by the cached prefixes of
+            one replica (LRU eviction); ``null`` retains prefixes
+            unboundedly.
+    """
+
+    enabled: bool = False
+    capacity_tokens: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.enabled, bool),
+            f"prefix_cache.enabled must be a boolean, got {self.enabled!r}",
+        )
+        _check_positive_int(
+            self.capacity_tokens, "prefix_cache.capacity_tokens", optional=True
+        )
+
+
+@dataclass(frozen=True)
 class TraceSpec:
     """What workload arrives, when, and with which metadata.
 
@@ -301,6 +327,15 @@ class TraceSpec:
         rate_rps: Mean Poisson arrival rate (required when poisson).
         num_sessions: When positive, assign each request a random session
             id in ``[0, num_sessions)`` (seeded from the experiment seed).
+            The ``"multi-turn"`` source instead reads this as the number
+            of conversations (its requests arrive pre-tagged).
+        turns_per_session: Turns per conversation for the ``"multi-turn"``
+            source (each follow-up turn's prompt is the previous turn's
+            full context plus ``followup_tokens``); ``num_requests`` must
+            then equal ``num_sessions * turns_per_session``.
+        followup_tokens: New user tokens added per follow-up turn.
+        turn_gap_s: Deterministic inter-turn arrival spacing of the
+            ``"multi-turn"`` source (0 leaves arrivals to ``arrival``).
         priority_every: When positive, mark every N-th request with
             ``priority_value`` so priority admission has work to do.
         priority_value: Priority assigned by ``priority_every``.
@@ -316,6 +351,9 @@ class TraceSpec:
     arrival: str = "all-at-once"
     rate_rps: float = 0.0
     num_sessions: int = 0
+    turns_per_session: int = 0
+    followup_tokens: int = 64
+    turn_gap_s: float = 0.0
     priority_every: int = 0
     priority_value: int = 1
 
@@ -335,6 +373,15 @@ class TraceSpec:
             f"got {self.rate_rps!r}",
         )
         _check_non_negative_int(self.num_sessions, "trace.num_sessions")
+        _check_non_negative_int(self.turns_per_session, "trace.turns_per_session")
+        _check_positive_int(self.followup_tokens, "trace.followup_tokens")
+        _check_non_negative_float(self.turn_gap_s, "trace.turn_gap_s")
+        _require(
+            not (self.turn_gap_s > 0 and self.arrival == "poisson"),
+            "trace.turn_gap_s and trace.arrival='poisson' are mutually exclusive: "
+            "the Poisson process would overwrite the source's deterministic "
+            "turn arrivals; set turn_gap_s to 0 or keep arrival='all-at-once'",
+        )
         _check_non_negative_int(self.priority_every, "trace.priority_every")
         _require(
             _is_int(self.priority_value),
@@ -401,6 +448,7 @@ class ExperimentSpec:
     admission: AdmissionSpec = field(default_factory=AdmissionSpec)
     preemption: PreemptionSpec = field(default_factory=PreemptionSpec)
     prefill: PrefillSpec = field(default_factory=PrefillSpec)
+    prefix_cache: PrefixCacheSpec = field(default_factory=PrefixCacheSpec)
     trace: TraceSpec = field(default_factory=TraceSpec)
     router: RouterSpec | None = None
     seed: int = 0
@@ -436,6 +484,10 @@ class ExperimentSpec:
         _require(
             isinstance(self.prefill, PrefillSpec),
             f"prefill must be a PrefillSpec, got {type(self.prefill).__name__}",
+        )
+        _require(
+            isinstance(self.prefix_cache, PrefixCacheSpec),
+            f"prefix_cache must be a PrefixCacheSpec, got {type(self.prefix_cache).__name__}",
         )
         _require(
             isinstance(self.trace, TraceSpec),
@@ -532,6 +584,7 @@ class ExperimentSpec:
             "admission": AdmissionSpec,
             "preemption": PreemptionSpec,
             "prefill": PrefillSpec,
+            "prefix_cache": PrefixCacheSpec,
             "trace": TraceSpec,
         }
         for key, value in data.items():
@@ -604,6 +657,7 @@ __all__ = [
     "AdmissionSpec",
     "PreemptionSpec",
     "PrefillSpec",
+    "PrefixCacheSpec",
     "TraceSpec",
     "RouterSpec",
     "ExperimentSpec",

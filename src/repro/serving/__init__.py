@@ -14,6 +14,9 @@ Layering, from the outside in:
   or recompute cost models, driving the incremental KV lifecycle contract.
 * :mod:`repro.serving.prefill` -- context-length-dependent prefill cost
   models (blocking or chunked) that make TTFT reflect prompt length.
+* :mod:`repro.serving.prefix_cache` -- per-replica prefix/KV reuse for
+  multi-turn sessions (LRU over cached session prefixes, counted in KV
+  tokens), discounting prefill and recompute-restore work.
 * :mod:`repro.serving.interfaces` -- the :class:`DecodeSystem`,
   :class:`KVAllocator` and :class:`KVLifecycle` protocols plus result
   types.
@@ -62,6 +65,7 @@ from repro.serving.prefill import (
     prefill_model_for,
     transformer_prefill_flops,
 )
+from repro.serving.prefix_cache import PrefixCache, PrefixCacheStats
 from repro.serving.router import (
     CapacityAwareRouting,
     FleetResult,
@@ -111,6 +115,8 @@ __all__ = [
     "SystemPrefillModel",
     "prefill_model_for",
     "transformer_prefill_flops",
+    "PrefixCache",
+    "PrefixCacheStats",
     "CapacityAwareRouting",
     "FleetResult",
     "LeastOutstandingRouting",

@@ -21,6 +21,12 @@ blocking (the request decodes only after its whole prefill elapses) or
 chunked (prefill interleaves with decode steps on the same hardware), so
 TTFT reflects prompt length instead of just queueing plus one decode step.
 
+An optional :class:`~repro.serving.prefix_cache.PrefixCache` adds
+per-replica prefix/KV reuse for multi-turn sessions: requests carrying a
+session id are charged prefill (and recompute-mode restore work) only for
+the suffix their session's cached prefix does not cover, and each
+finished turn's full context is retained for the next turn.
+
 An optional :class:`~repro.serving.preemption.PreemptionConfig` flips the
 engine from the admit-to-completion contract to the incremental
 :class:`~repro.serving.interfaces.KVLifecycle` contract: admission
@@ -59,6 +65,7 @@ from repro.serving.latency_cache import StepLatencyCache
 from repro.serving.lifecycle import LatencyStats, LifecycleTracker, RequestRecord
 from repro.serving.preemption import PreemptionCandidate, PreemptionConfig
 from repro.serving.prefill import PrefillConfig
+from repro.serving.prefix_cache import PrefixCache
 from repro.workloads.traces import RequestTrace
 
 
@@ -88,6 +95,22 @@ class EngineResult(ServingResult):
     recompute_tokens: int = 0
     #: Mean paged-out-to-restored stall per preemption (requeue delay).
     requeue_delay_mean_s: float = 0.0
+    #: Whether a prefix cache was attached for this run.
+    prefix_cache_enabled: bool = False
+    #: Prefix-cache lookups that found a reusable session prefix.
+    prefix_hits: int = 0
+    #: Prefix-cache lookups that found nothing for the session.
+    prefix_misses: int = 0
+    #: Prompt tokens discounted from prefill/restore work by cache hits.
+    prefix_hit_tokens: int = 0
+    #: Session prefixes evicted by the cache's LRU capacity policy.
+    prefix_evictions: int = 0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Hit fraction of this run's prefix-cache lookups (0 when unused)."""
+        lookups = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / lookups if lookups else 0.0
 
     @property
     def ttft_mean_s(self) -> float:
@@ -124,6 +147,8 @@ class _ActiveRequest:
     admitted_s: float = 0.0
     #: Clock of the most recent decode progress (LRU preemption).
     last_step_s: float = 0.0
+    #: Conversation id for prefix-cache lookups (``None`` = no session).
+    session: int | None = None
 
     def decode_ready(self, clock: float) -> bool:
         return self.ready_s <= clock and self.prefill_done >= self.prefill_total
@@ -163,6 +188,13 @@ class ServingEngine:
             admission checks only the prompt, requests grow chunk by
             chunk, and mid-decode capacity pressure is resolved by paging
             victims out and re-queueing them through admission.
+        prefix_cache: Optional per-replica prefix/KV reuse store (see
+            :mod:`repro.serving.prefix_cache`).  Requests carrying a
+            session id reuse the session's cached prefix: blocking and
+            chunked prefill charge only the uncached suffix, and
+            recompute-mode restores re-prefill only what the cache does
+            not hold.  ``None`` (the default) keeps the no-reuse
+            arithmetic the parity tests pin.
     """
 
     system: DecodeSystem
@@ -172,6 +204,7 @@ class ServingEngine:
     latency_cache: StepLatencyCache | None = None
     prefill: PrefillConfig | None = None
     preemption: PreemptionConfig | None = None
+    prefix_cache: PrefixCache | None = None
 
     def __post_init__(self) -> None:
         if self.step_stride < 1:
@@ -223,11 +256,20 @@ class ServingEngine:
         request has already consumed decode (and possibly prefill) work,
         so letting it finish wastes the least capacity.  The queue is
         FCFS on preemption time, bounding any one request's stall.
+
+        Recompute-mode restores consult the prefix cache (the session's
+        retained prefix needs no re-prefill) and, when chunked prefill is
+        configured, route the remaining recompute through the chunked
+        path -- the recomputed tokens then share decode hardware chunk by
+        chunk exactly like admission-time prefill, instead of being
+        charged as an up-front lump.  Swap-mode restores page the full KV
+        back regardless and stay lump-charged.
         """
         overhead = 0.0
         assert self.preemption is not None
         cost = self.preemption.cost
         prefill_model = self.prefill.model if self.prefill is not None else None
+        chunked = self.prefill is not None and self.prefill.chunk_tokens is not None
         while preempted:
             if self.max_batch_size is not None and len(active) >= self.max_batch_size:
                 break
@@ -236,11 +278,26 @@ class ServingEngine:
                 break
             preempted.popleft()
             allocator.restore(head.state.request_id, head.state)
-            overhead += cost.restore_seconds(head.state, prefill_model)
-            tracker.on_restore(
-                head.state.request_id, clock, cost.restore_recompute_tokens(head.state)
-            )
             entry = head.entry
+            cached = 0
+            if (
+                cost.mode == "recompute"
+                and self.prefix_cache is not None
+                and entry.session is not None
+            ):
+                cached = self.prefix_cache.lookup(entry.session, head.state.tokens)
+            if cost.mode == "recompute" and chunked:
+                entry.prefill_total = head.state.tokens
+                entry.prefill_done = cached
+            else:
+                overhead += cost.restore_seconds(
+                    head.state, prefill_model, cached_tokens=cached
+                )
+            tracker.on_restore(
+                head.state.request_id,
+                clock,
+                cost.restore_recompute_tokens(head.state, cached_tokens=cached),
+            )
             entry.admitted_s = clock
             entry.last_step_s = clock
             active[entry.request_id] = entry
@@ -290,20 +347,39 @@ class ServingEngine:
                     remaining=candidate.decode_tokens,
                     admitted_s=clock,
                     last_step_s=clock,
+                    session=candidate.request.session,
                 )
+                cached = 0
+                if (
+                    self.prefix_cache is not None
+                    and entry.session is not None
+                    and self.prefill is not None
+                ):
+                    # Prefix reuse: the session's retained KV covers the
+                    # first `cached` prompt tokens, so only the uncached
+                    # suffix needs prefill work.  Without a prefill model
+                    # admission has no cost to discount, so the cache is
+                    # not consulted here (hit counters must report reuse
+                    # that actually bought something; recompute-mode
+                    # restores still consult it either way).
+                    cached = self.prefix_cache.lookup(entry.session, candidate.prompt_tokens)
                 if self.prefill is not None:
                     if self.prefill.chunk_tokens is None:
-                        # Blocking: the whole prompt is charged now and the
-                        # request decodes only once its prefill elapses
-                        # (prefill runs on a dedicated path, in parallel
-                        # with ongoing decode).
+                        # Blocking: the whole (uncached) prompt is charged
+                        # now and the request decodes only once its prefill
+                        # elapses (prefill runs on a dedicated path, in
+                        # parallel with ongoing decode).
                         seconds = self.prefill.model.cumulative_seconds(candidate.prompt_tokens)
+                        if cached:
+                            seconds -= self.prefill.model.cumulative_seconds(cached)
                         entry.ready_s = clock + seconds
                         tracker.on_prefill(candidate.request_id, seconds)
                     else:
                         # Chunked: prefill shares the decode hardware and is
-                        # advanced chunk-by-chunk by the main loop.
+                        # advanced chunk-by-chunk by the main loop, starting
+                        # past the cached prefix.
                         entry.prefill_total = candidate.prompt_tokens
+                        entry.prefill_done = cached
                 active[candidate.request_id] = entry
                 tracker.on_admission(candidate.request_id, clock)
                 admitted.add(candidate.request_id)
@@ -413,6 +489,7 @@ class ServingEngine:
         if self.latency_cache is not None:
             cache_hits_before = self.latency_cache.hits
             cache_misses_before = self.latency_cache.misses
+        prefix_before = self.prefix_cache.stats() if self.prefix_cache is not None else None
         peak_batch = 0
         batch_samples: list[int] = []
         utilization_samples: list[float] = []
@@ -585,6 +662,10 @@ class ServingEngine:
                         allocator.release(entry.request_id)
                         del active[entry.request_id]
                         tracker.on_finish(entry.request_id, clock)
+                        if self.prefix_cache is not None and entry.session is not None:
+                            # Retain the turn's full context as the
+                            # session's reusable prefix.
+                            self.prefix_cache.insert(entry.session, entry.context)
                         finished_any = True
                 total_tokens -= lost_tokens
                 preemption_count += len(preempted_now)
@@ -601,18 +682,22 @@ class ServingEngine:
                 if finished_any or preempted_now:
                     admission_dirty = True
             else:
-                finished: list[int] = []
+                finished: list[_ActiveRequest] = []
                 for entry in decoding:
                     allocator.append_token(entry.request_id, stride)
                     entry.context += stride
                     entry.remaining -= stride
                     tracker.on_tokens(entry.request_id, stride, clock, step.seconds)
                     if entry.remaining <= 0:
-                        finished.append(entry.request_id)
-                for request_id in finished:
-                    allocator.release(request_id)
-                    del active[request_id]
-                    tracker.on_finish(request_id, clock)
+                        finished.append(entry)
+                for entry in finished:
+                    allocator.release(entry.request_id)
+                    del active[entry.request_id]
+                    tracker.on_finish(entry.request_id, clock)
+                    if self.prefix_cache is not None and entry.session is not None:
+                        # Retain the turn's full context as the session's
+                        # reusable prefix.
+                        self.prefix_cache.insert(entry.session, entry.context)
                 if finished:
                     admission_dirty = True
 
@@ -634,6 +719,17 @@ class ServingEngine:
                 "misses": misses,
                 "hit_rate": hits / lookups if lookups else 0.0,
             }
+
+        # Deltas, not lifetime counters: the prefix cache persists across
+        # runs (that persistence is the whole point) but each result must
+        # report its own hit rate.
+        prefix_hits = prefix_misses = prefix_hit_tokens = prefix_evictions = 0
+        if self.prefix_cache is not None and prefix_before is not None:
+            prefix_after = self.prefix_cache.stats()
+            prefix_hits = prefix_after.hits - prefix_before.hits
+            prefix_misses = prefix_after.misses - prefix_before.misses
+            prefix_hit_tokens = prefix_after.hit_tokens - prefix_before.hit_tokens
+            prefix_evictions = prefix_after.evictions - prefix_before.evictions
 
         return EngineResult(
             system_name=system_name or type(self.system).__name__,
@@ -678,6 +774,11 @@ class ServingEngine:
                 if preemption_count
                 else 0.0
             ),
+            prefix_cache_enabled=self.prefix_cache is not None,
+            prefix_hits=prefix_hits,
+            prefix_misses=prefix_misses,
+            prefix_hit_tokens=prefix_hit_tokens,
+            prefix_evictions=prefix_evictions,
         )
 
 
@@ -690,6 +791,7 @@ def serve(
     latency_cache: StepLatencyCache | None = None,
     prefill: PrefillConfig | None = None,
     preemption: PreemptionConfig | None = None,
+    prefix_cache: PrefixCache | None = None,
     system_name: str = "",
 ) -> EngineResult:
     """One-shot convenience wrapper around :class:`ServingEngine`."""
@@ -701,5 +803,6 @@ def serve(
         latency_cache=latency_cache,
         prefill=prefill,
         preemption=preemption,
+        prefix_cache=prefix_cache,
     )
     return engine.run(trace, system_name=system_name)

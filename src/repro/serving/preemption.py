@@ -169,18 +169,32 @@ class PreemptionCostModel:
         return 0.0
 
     def restore_seconds(
-        self, state: PreemptedState, prefill_model: PrefillModel | None = None
+        self,
+        state: PreemptedState,
+        prefill_model: PrefillModel | None = None,
+        cached_tokens: int = 0,
     ) -> float:
-        """Clock charge for bringing a victim back."""
+        """Clock charge for bringing a victim back.
+
+        ``cached_tokens`` is the prefix a
+        :class:`~repro.serving.prefix_cache.PrefixCache` still holds for
+        the victim's session: recompute-mode restores re-prefill only the
+        uncached suffix (swap restores page the full KV either way).
+        """
         if self.mode == "swap":
             return state.kv_bytes / self.swap_bandwidth_bytes_per_s
+        cached = min(max(cached_tokens, 0), state.tokens)
         if prefill_model is not None:
-            return prefill_model.cumulative_seconds(state.tokens)
-        return self.recompute_per_token_s * state.tokens
+            return prefill_model.cumulative_seconds(
+                state.tokens
+            ) - prefill_model.cumulative_seconds(cached)
+        return self.recompute_per_token_s * (state.tokens - cached)
 
-    def restore_recompute_tokens(self, state: PreemptedState) -> int:
+    def restore_recompute_tokens(self, state: PreemptedState, cached_tokens: int = 0) -> int:
         """Tokens re-prefilled by a restore (zero under swap)."""
-        return state.tokens if self.mode == "recompute" else 0
+        if self.mode != "recompute":
+            return 0
+        return state.tokens - min(max(cached_tokens, 0), state.tokens)
 
 
 @dataclass(frozen=True)

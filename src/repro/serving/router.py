@@ -336,6 +336,39 @@ class FleetResult:
             return 1.0
         return max(busy) / mean
 
+    # -- prefix-cache surface ------------------------------------------------
+    #
+    # Per-replica hit rates are what make session-affinity vs round-robin an
+    # apples-to-apples experiment: affinity concentrates a session's turns
+    # (and therefore its prefix) on one replica, round-robin scatters them
+    # across caches that each hold only a stale fragment.
+
+    @property
+    def prefix_hits(self) -> int:
+        """Prefix-cache hits across all replicas."""
+        return sum(result.prefix_hits for result in self.replica_results)
+
+    @property
+    def prefix_misses(self) -> int:
+        """Prefix-cache misses across all replicas."""
+        return sum(result.prefix_misses for result in self.replica_results)
+
+    @property
+    def prefix_hit_tokens(self) -> int:
+        """Prompt tokens discounted by cache hits across all replicas."""
+        return sum(result.prefix_hit_tokens for result in self.replica_results)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fleet-wide prefix-cache hit fraction (0 when the cache is off)."""
+        lookups = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / lookups if lookups else 0.0
+
+    @property
+    def prefix_hit_rates(self) -> tuple[float, ...]:
+        """Per-replica prefix-cache hit fractions, in replica order."""
+        return tuple(result.prefix_hit_rate for result in self.replica_results)
+
 
 @dataclass
 class ReplicaRouter:
@@ -383,7 +416,19 @@ class ReplicaRouter:
         for index, result in enumerate(results):
             measured = result.latency.tpot_mean_s
             if measured <= 0.0:
-                continue  # replica served nothing (or single-token requests)
+                # Single-token requests report TPOT 0 (no inter-token gap),
+                # which used to leave the estimate frozen forever; fall
+                # back to the mean *decode* step latency.  Busy seconds
+                # also include chunked-prefill work and preemption lumps,
+                # which would inflate a per-step estimate by orders of
+                # magnitude on prompt-heavy traces, so strip them first
+                # (blocking prefill never charges the busy clock).
+                decode_seconds = result.total_seconds - result.preemption_overhead_s
+                if result.prefill_mode == "chunked":
+                    decode_seconds -= result.prefill_seconds_total
+                measured = decode_seconds / result.steps if result.steps else 0.0
+            if measured <= 0.0:
+                continue  # replica served nothing this run
             previous = self._service_estimates.get(index)
             if previous is None:
                 self._service_estimates[index] = measured

@@ -5,6 +5,7 @@ from repro.workloads.traces import (
     Request,
     RequestTrace,
     generate_trace,
+    multi_turn_trace,
     poisson_arrivals,
     replay_arrivals,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "Request",
     "RequestTrace",
     "generate_trace",
+    "multi_turn_trace",
     "poisson_arrivals",
     "replay_arrivals",
 ]

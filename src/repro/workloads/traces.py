@@ -232,6 +232,101 @@ def periodic_priorities(trace: RequestTrace, every: int, priority: int) -> Reque
     return RequestTrace(dataset=trace.dataset, requests=requests)
 
 
+def multi_turn_trace(
+    num_sessions: int,
+    turns_per_session: int,
+    first_prompt_tokens: int,
+    followup_tokens: int,
+    output_tokens: int,
+    seed: int = 0,
+    context_window: int | None = None,
+    turn_gap_s: float = 0.0,
+    dataset: str = "multi-turn",
+) -> RequestTrace:
+    """Generate conversational sessions whose turns share an accumulated prefix.
+
+    Each session opens with a prompt of roughly ``first_prompt_tokens``
+    (jittered per session so sessions are distinguishable, reproducibly
+    from ``seed``) and every follow-up turn's prompt is the previous
+    turn's *entire context* -- prompt plus generated output -- plus
+    ``followup_tokens`` of new user input.  That accumulated-prefix
+    relation is exactly what a prefix cache exploits: turn ``k`` shares
+    its first ``prompt_{k-1} + output`` tokens with the replica that
+    served turn ``k-1``.
+
+    Requests are ordered turn-major (all first turns, then all second
+    turns, ...), so both the all-at-once and the Poisson arrival
+    processes keep each session's turns in conversation order.  With
+    ``turn_gap_s > 0`` the trace carries its own deterministic arrivals
+    instead: session ``s``'s turn ``k`` arrives at ``k * turn_gap_s``
+    plus a per-session jitter in ``[0, turn_gap_s)``, spacing turns far
+    enough apart that a turn's predecessor has usually finished (and its
+    prefix is cached) by the time it arrives.
+
+    Args:
+        num_sessions: Concurrent conversations (positive).
+        turns_per_session: Turns per conversation (positive).
+        first_prompt_tokens: Nominal opening prompt length; each session
+            jitters it by up to +/-25%.
+        followup_tokens: New user tokens added by every follow-up turn.
+        output_tokens: Tokens generated per turn.
+        seed: Seed for the per-session jitter (traces are reproducible).
+        context_window: Optional window; prompts are clamped so
+            ``prompt + output`` never exceeds it (sessions saturate there).
+        turn_gap_s: Optional deterministic inter-turn arrival spacing.
+        dataset: Dataset label carried by the trace.
+
+    Returns:
+        A :class:`RequestTrace` of ``num_sessions * turns_per_session``
+        requests, every one tagged with its session id.
+    """
+    if num_sessions <= 0:
+        raise ValueError("num_sessions must be positive")
+    if turns_per_session <= 0:
+        raise ValueError("turns_per_session must be positive")
+    if first_prompt_tokens <= 0 or followup_tokens <= 0 or output_tokens <= 0:
+        raise ValueError(
+            "first_prompt_tokens, followup_tokens and output_tokens must be positive"
+        )
+    if context_window is not None and output_tokens >= context_window:
+        # The clamp guarantees prompt + output <= window, which is only
+        # satisfiable when the output alone leaves room for a prompt.
+        raise ValueError(
+            f"output_tokens ({output_tokens}) must be smaller than the "
+            f"context window ({context_window})"
+        )
+    if turn_gap_s < 0:
+        raise ValueError("turn_gap_s must be non-negative")
+    rng = np.random.default_rng(seed)
+    jitter = rng.uniform(0.75, 1.25, size=num_sessions)
+    offsets = rng.uniform(0.0, turn_gap_s, size=num_sessions) if turn_gap_s > 0 else None
+
+    def clamp(prompt: int) -> int:
+        if context_window is None:
+            return prompt
+        return max(1, min(prompt, context_window - output_tokens))
+
+    prompts = [clamp(max(1, int(round(first_prompt_tokens * j)))) for j in jitter]
+    requests = []
+    for turn in range(turns_per_session):
+        for session in range(num_sessions):
+            arrival = 0.0
+            if offsets is not None:
+                arrival = turn * turn_gap_s + float(offsets[session])
+            requests.append(
+                Request(
+                    request_id=len(requests),
+                    prompt_tokens=prompts[session],
+                    output_tokens=output_tokens,
+                    arrival_s=arrival,
+                    session=session,
+                )
+            )
+            # Next turn's prompt: this turn's full context plus new input.
+            prompts[session] = clamp(prompts[session] + output_tokens + followup_tokens)
+    return RequestTrace(dataset=dataset, requests=tuple(requests))
+
+
 def partition_trace(
     trace: RequestTrace,
     assignments: Sequence[int | None],
@@ -315,5 +410,45 @@ def _synthetic_trace(spec: "TraceSpec", context_window: int, seed: int) -> Reque
     return RequestTrace(dataset="synthetic", requests=tuple(requests))
 
 
+def _multi_turn_source(spec: "TraceSpec", context_window: int, seed: int) -> RequestTrace:
+    """Multi-turn conversations; sessions and (optional) arrivals are built in.
+
+    ``trace.num_sessions`` and ``trace.turns_per_session`` shape the
+    conversation set; ``trace.num_requests`` must equal their product (a
+    silently ignored count would make sweeps over it meaningless and the
+    report's ``num_requests`` wrong).  The experiment API skips its own
+    random session assignment because this source already tags every
+    request.
+    """
+    if spec.num_sessions <= 0:
+        raise ValueError(
+            "trace.num_sessions must be positive for the 'multi-turn' source, "
+            f"got {spec.num_sessions}"
+        )
+    if spec.turns_per_session <= 0:
+        raise ValueError(
+            "trace.turns_per_session must be positive for the 'multi-turn' source, "
+            f"got {spec.turns_per_session}"
+        )
+    product = spec.num_sessions * spec.turns_per_session
+    if spec.num_requests != product:
+        raise ValueError(
+            "trace.num_requests must equal trace.num_sessions * "
+            f"trace.turns_per_session (= {product}) for the 'multi-turn' "
+            f"source, got {spec.num_requests}"
+        )
+    return multi_turn_trace(
+        num_sessions=spec.num_sessions,
+        turns_per_session=spec.turns_per_session,
+        first_prompt_tokens=spec.prompt_tokens,
+        followup_tokens=spec.followup_tokens,
+        output_tokens=spec.output_tokens if spec.output_tokens else 32,
+        seed=seed,
+        context_window=context_window,
+        turn_gap_s=spec.turn_gap_s,
+    )
+
+
 register_trace("dataset", _dataset_trace)
 register_trace("synthetic", _synthetic_trace)
+register_trace("multi-turn", _multi_turn_source)

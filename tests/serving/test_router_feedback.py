@@ -129,6 +129,62 @@ class TestEWMAFeedback:
         with pytest.raises(ValueError):
             heterogeneous_router(ewma_alpha=-0.1)
 
+    def test_single_token_requests_still_learn_estimates(self):
+        # Regression: requests with output_tokens == 1 report TPOT 0 (no
+        # inter-token gap), which used to skip the EWMA update entirely --
+        # a fleet serving only single-token requests never learned and
+        # stale estimates persisted forever.  The fallback folds the
+        # measured mean decode-step latency instead.
+        router = heterogeneous_router(ewma_alpha=0.5)
+        trace = burst_trace(output=1)
+        router.run(trace)
+        estimates = router.service_time_estimates
+        assert estimates, "single-token fleet must still learn step estimates"
+        assert all(value > 0.0 for value in estimates.values())
+        # The slow replica's measured step latency dominates its estimate.
+        assert estimates[1] > estimates[0]
+
+    def test_fallback_excludes_chunked_prefill_from_step_estimate(self):
+        # Regression: the fallback once divided *busy* seconds by decode
+        # steps, but busy time includes chunked-prefill work -- on a
+        # prompt-heavy single-token trace that inflated the learned
+        # estimate by orders of magnitude and inverted dispatch.
+        from repro.serving import LinearPrefillModel, PrefillConfig
+
+        base_step = BatchSlowSystem().base_step_s
+        engine = ServingEngine(
+            system=BatchSlowSystem(),
+            prefill=PrefillConfig(
+                model=LinearPrefillModel(per_token_s=0.01), chunk_tokens=64
+            ),
+        )
+        router = ReplicaRouter(replicas=(engine,), ewma_alpha=0.5)
+        trace = RequestTrace(
+            dataset="prompt-heavy",
+            requests=tuple(
+                Request(
+                    request_id=index, prompt_tokens=1024, output_tokens=1,
+                    arrival_s=index * 60.0,
+                )
+                for index in range(3)
+            ),
+        )
+        router.run(trace)
+        estimate = router.service_time_estimates[0]
+        # Each prompt costs ~10.24s of prefill vs a 0.01s decode step; a
+        # busy-time estimate would land near 10s.
+        assert 0.0 < estimate <= 2 * base_step
+
+    def test_empty_replica_keeps_no_estimate(self):
+        # A replica that served nothing has no measurement to fold in.
+        router = heterogeneous_router(ewma_alpha=0.5)
+        trace = RequestTrace(
+            dataset="single",
+            requests=(Request(request_id=0, prompt_tokens=8, output_tokens=1),),
+        )
+        router.run(trace)
+        assert set(router.service_time_estimates) == {0}
+
     def test_ewma_blends_successive_measurements(self):
         router = heterogeneous_router(ewma_alpha=0.5)
         trace = burst_trace()

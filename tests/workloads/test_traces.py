@@ -113,3 +113,84 @@ class TestArrivalProcesses:
         trace = generate_trace(get_dataset("qmsum"), 2, seed=0)
         with pytest.raises(ValueError):
             replay_arrivals(trace, [0.0, float("nan")])
+
+
+class TestMultiTurnTrace:
+    @staticmethod
+    def build(**overrides):
+        from repro.workloads.traces import multi_turn_trace
+
+        kwargs = dict(
+            num_sessions=3,
+            turns_per_session=4,
+            first_prompt_tokens=100,
+            followup_tokens=20,
+            output_tokens=10,
+            seed=5,
+        )
+        kwargs.update(overrides)
+        return multi_turn_trace(**kwargs)
+
+    def test_shape_and_session_tagging(self):
+        trace = self.build()
+        assert len(trace) == 12
+        assert {request.session for request in trace.requests} == {0, 1, 2}
+        # Turn-major ordering: each block of num_sessions covers all sessions.
+        assert [r.session for r in trace.requests[:3]] == [0, 1, 2]
+
+    def test_follow_up_prompts_accumulate_previous_context(self):
+        trace = self.build()
+        by_session: dict[int, list] = {}
+        for request in trace.requests:
+            by_session.setdefault(request.session, []).append(request)
+        for turns in by_session.values():
+            for previous, current in zip(turns, turns[1:]):
+                # This turn's prompt = previous full context + new input.
+                expected = previous.prompt_tokens + previous.output_tokens + 20
+                assert current.prompt_tokens == expected
+
+    def test_reproducible_under_fixed_seed(self):
+        a, b = self.build(seed=9), self.build(seed=9)
+        assert a == b
+        assert self.build(seed=10) != a
+
+    def test_context_window_saturation(self):
+        trace = self.build(turns_per_session=20, context_window=256)
+        for request in trace.requests:
+            assert request.prompt_tokens + request.output_tokens <= 256
+
+    def test_output_consuming_the_window_rejected(self):
+        # prompt + output <= window is unsatisfiable when the output alone
+        # fills the window; the clamp must not silently emit 1-token
+        # prompts that still overflow it.
+        with pytest.raises(ValueError, match="context window"):
+            self.build(output_tokens=96, context_window=64)
+
+    def test_turn_gap_spaces_arrivals_in_conversation_order(self):
+        trace = self.build(turn_gap_s=10.0)
+        by_session: dict[int, list] = {}
+        for request in trace.requests:
+            by_session.setdefault(request.session, []).append(request)
+        for turns in by_session.values():
+            arrivals = [turn.arrival_s for turn in turns]
+            assert arrivals == sorted(arrivals)
+            for previous, current in zip(arrivals, arrivals[1:]):
+                assert current - previous == pytest.approx(10.0)
+        # Per-session jitter keeps sessions from colliding at the same instant.
+        first_turn = [turn[0].arrival_s for turn in by_session.values()]
+        assert len(set(first_turn)) > 1
+
+    def test_zero_gap_leaves_all_arrivals_at_zero(self):
+        assert all(request.arrival_s == 0.0 for request in self.build().requests)
+
+    def test_validation(self):
+        for overrides in (
+            {"num_sessions": 0},
+            {"turns_per_session": 0},
+            {"first_prompt_tokens": 0},
+            {"followup_tokens": 0},
+            {"output_tokens": 0},
+            {"turn_gap_s": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                self.build(**overrides)
