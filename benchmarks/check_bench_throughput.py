@@ -1,0 +1,83 @@
+"""Gate BENCH_engine_throughput.json against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_throughput.py \
+        [BENCH_engine_throughput.json] [benchmarks/baselines/BENCH_engine_throughput.json]
+
+Run ``pytest benchmarks/test_bench_fast_engine.py -m "not slow"`` first; it
+writes the current ``BENCH_engine_throughput.json`` at the repo root.  The
+check fails when a scenario's measured speedup regresses by more than 30%
+versus the baseline, when a scenario disappears, or when a spec hash no
+longer matches (the scenario definition changed, so the numbers are not
+comparable -- regenerate the baseline by copying the fresh file over
+``benchmarks/baselines/`` and committing it).
+
+Absolute requests/s are recorded for the trend but not gated: they track the
+host machine, while the scalar-vs-fast speedup on the same host does not.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: A scenario may lose at most this fraction of its baseline speedup.
+MAX_REGRESSION = 0.30
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_engine_throughput.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_engine_throughput.json"
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())["scenarios"]
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: {path} not found -- run "
+            "`pytest benchmarks/test_bench_fast_engine.py -m \"not slow\"` first"
+        )
+
+
+def check(current_path: Path, baseline_path: Path) -> int:
+    current = _load(current_path)
+    baseline = _load(baseline_path)
+    failures = []
+    for name, expected in baseline.items():
+        measured = current.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from {current_path}")
+            continue
+        if measured["spec_hash"] != expected["spec_hash"]:
+            failures.append(
+                f"{name}: spec hash changed "
+                f"({expected['spec_hash']} -> {measured['spec_hash']}); the scenario "
+                f"definition moved -- regenerate and commit {baseline_path}"
+            )
+            continue
+        floor = expected["speedup"] * (1.0 - MAX_REGRESSION)
+        status = "ok" if measured["speedup"] >= floor else "REGRESSION"
+        print(
+            f"{name}: speedup {measured['speedup']:.1f}x "
+            f"(baseline {expected['speedup']:.1f}x, floor {floor:.1f}x) {status}"
+        )
+        if measured["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {measured['speedup']:.1f}x fell below "
+                f"{floor:.1f}x (baseline {expected['speedup']:.1f}x - {MAX_REGRESSION:.0%})"
+            )
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    current = Path(argv[1]) if len(argv) > 1 else DEFAULT_CURRENT
+    baseline = Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+    return check(current, baseline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -44,6 +44,7 @@ import repro.baselines  # noqa: F401  (imported for registration side effects)
 from repro.api import (
     AdmissionSpec,
     AllocatorSpec,
+    EngineSpec,
     ExperimentSpec,
     ModelSpec,
     ParallelismSpec,
@@ -74,6 +75,7 @@ from repro.serving import (
     EvictLargest,
     EvictLRU,
     EvictYoungest,
+    FastServingEngine,
     FCFSAdmission,
     FleetResult,
     LeastOutstandingRouting,
@@ -118,6 +120,7 @@ __all__ = [
     "list_datasets",
     # serving engine + admission
     "ServingEngine",
+    "FastServingEngine",
     "EngineResult",
     "ServingResult",
     "serve",
@@ -162,6 +165,7 @@ __all__ = [
     "SystemSpec",
     "ParallelismSpec",
     "AllocatorSpec",
+    "EngineSpec",
     "AdmissionSpec",
     "PreemptionSpec",
     "PrefillSpec",

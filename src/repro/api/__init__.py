@@ -50,6 +50,7 @@ _EXPORTS = {
     "SystemSpec": "spec",
     "ParallelismSpec": "spec",
     "AllocatorSpec": "spec",
+    "EngineSpec": "spec",
     "AdmissionSpec": "spec",
     "PreemptionSpec": "spec",
     "PrefillSpec": "spec",

@@ -35,6 +35,7 @@ from repro.api.spec import ExperimentSpec
 from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig, get_model
 from repro.serving.engine import ServingEngine
+from repro.serving.fast_engine import FastServingEngine
 from repro.serving.interfaces import DecodeSystem
 from repro.serving.latency_cache import StepLatencyCache
 from repro.serving.preemption import PreemptionConfig, PreemptionCostModel
@@ -179,6 +180,7 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
 
     admission_factory = ADMISSION_POLICIES.get(spec.admission.policy)
     preemption_factory = _preemption_factory(spec)
+    engine_cls = FastServingEngine if spec.engine.mode == "fast" else ServingEngine
 
     def engine_factory() -> ServingEngine:
         cache = (
@@ -193,7 +195,7 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
             if spec.prefix_cache.enabled
             else None
         )
-        return ServingEngine(
+        return engine_cls(
             system=system,
             admission=admission_factory(),
             max_batch_size=spec.admission.max_batch_size,

@@ -3,8 +3,10 @@
 Subcommands:
 
 * ``run SPEC.json [--set key=value] [--sweep key=a,b,c] [--format table|json]
-  [--output FILE]`` -- execute one spec, or the cartesian product of the
-  ``--sweep`` axes, and print a table or a JSON report.
+  [--output FILE] [--profile]`` -- execute one spec, or the cartesian
+  product of the ``--sweep`` axes, and print a table or a JSON report;
+  ``--profile`` additionally prints the cProfile top-20 (cumulative) of
+  the engine loop to stderr.
 * ``validate SPEC.json [--set key=value]`` -- type/range/registry-key check
   a spec without running it.
 * ``list [systems|admission|routing|preemption|prefill|traces|models|
@@ -114,7 +116,21 @@ def _command_run(args: argparse.Namespace) -> int:
         base = _spec_dict_from_args(args)
         axes = _sweep_axes_from_args(args)
         expanded = sweep_specs(base, axes)
-        reports = [(overrides, run(spec)) for overrides, spec in expanded]
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                reports = [(overrides, run(spec)) for overrides, spec in expanded]
+            finally:
+                profiler.disable()
+                # Stats go to stderr so stdout stays valid JSON for pipes.
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(20)
+        else:
+            reports = [(overrides, run(spec)) for overrides, spec in expanded]
     except (OSError, ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -201,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "json"), default="table", help="stdout format"
     )
     run_parser.add_argument("--output", metavar="FILE", help="also write the JSON report to FILE")
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the run and print the top-20 cumulative entries to stderr",
+    )
     run_parser.set_defaults(handler=_command_run)
 
     validate_parser = subparsers.add_parser("validate", help="check a spec without running it")

@@ -39,6 +39,8 @@ class RunReport:
         system_kind: Registry key of the system model.
         admission_policy: Admission policy name at each engine.
         prefill_mode: ``"none"`` / ``"blocking"`` / ``"chunked"``.
+        engine_mode: ``"scalar"`` or ``"fast"`` -- which engine core ran
+            the experiment (parity-pinned, so metrics are identical).
         num_requests: Requests in the input trace.
         requests_served / requests_dropped: Fleet-wide admission outcomes.
         total_output_tokens: Tokens generated across all replicas.
@@ -87,6 +89,7 @@ class RunReport:
     load_imbalance: float
     latency: LatencyStats
     replica_results: tuple[EngineResult, ...] = field(repr=False, compare=False)
+    engine_mode: str = "scalar"
     preemption_policy: str = "none"
     preemptions: int = 0
     recompute_tokens: int = 0
@@ -172,6 +175,7 @@ class RunReport:
             load_imbalance=1.0,
             latency=result.latency,
             replica_results=(result,),
+            engine_mode=spec.engine.mode,
             preemption_policy=result.preemption_policy,
             preemptions=result.preemptions,
             recompute_tokens=result.recompute_tokens,
@@ -224,6 +228,7 @@ class RunReport:
             load_imbalance=fleet.load_imbalance,
             latency=fleet.latency,
             replica_results=replicas,
+            engine_mode=spec.engine.mode,
             preemption_policy=replicas[0].preemption_policy if replicas else "none",
             preemptions=total_preemptions,
             recompute_tokens=sum(result.recompute_tokens for result in replicas),
@@ -277,6 +282,7 @@ class RunReport:
             "system_kind": self.system_kind,
             "admission_policy": self.admission_policy,
             "prefill_mode": self.prefill_mode,
+            "engine_mode": self.engine_mode,
             "preemption_policy": self.preemption_policy,
             "metrics": {
                 "num_requests": self.num_requests,

@@ -43,6 +43,9 @@ ALLOCATOR_MODES = ("auto", "static", "paged")
 #: Arrival processes accepted by :attr:`TraceSpec.arrival`.
 ARRIVAL_MODES = ("all-at-once", "poisson")
 
+#: Engine cores accepted by :attr:`EngineSpec.mode`.
+ENGINE_MODES = ("scalar", "fast")
+
 #: Prefill charging disciplines accepted by :attr:`PrefillSpec.mode`.
 PREFILL_MODES = ("none", "blocking", "chunked")
 
@@ -190,6 +193,25 @@ class AllocatorSpec:
 
     def __post_init__(self) -> None:
         _check_choice(self.mode, ALLOCATOR_MODES, "allocator.mode")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Which serving-engine core drives the experiment.
+
+    ``"scalar"`` (the default) is the reference
+    :class:`~repro.serving.engine.ServingEngine`, advancing one latency
+    evaluation per Python iteration.  ``"fast"`` is the vectorized
+    :class:`~repro.serving.fast_engine.FastServingEngine`, which jumps
+    whole spans of uneventful decode evaluations at once; it is pinned
+    bit-for-bit against the scalar core by the parity suite, so the two
+    modes report identical metrics and differ only in wall-clock cost.
+    """
+
+    mode: str = "scalar"
+
+    def __post_init__(self) -> None:
+        _check_choice(self.mode, ENGINE_MODES, "engine.mode")
 
 
 @dataclass(frozen=True)
@@ -445,6 +467,7 @@ class ExperimentSpec:
     system: SystemSpec = field(default_factory=SystemSpec)
     parallelism: ParallelismSpec = field(default_factory=ParallelismSpec)
     allocator: AllocatorSpec = field(default_factory=AllocatorSpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
     admission: AdmissionSpec = field(default_factory=AdmissionSpec)
     preemption: PreemptionSpec = field(default_factory=PreemptionSpec)
     prefill: PrefillSpec = field(default_factory=PrefillSpec)
@@ -472,6 +495,10 @@ class ExperimentSpec:
         _require(
             isinstance(self.allocator, AllocatorSpec),
             f"allocator must be an AllocatorSpec, got {type(self.allocator).__name__}",
+        )
+        _require(
+            isinstance(self.engine, EngineSpec),
+            f"engine must be an EngineSpec, got {type(self.engine).__name__}",
         )
         _require(
             isinstance(self.admission, AdmissionSpec),
@@ -581,6 +608,7 @@ class ExperimentSpec:
             "system": SystemSpec,
             "parallelism": ParallelismSpec,
             "allocator": AllocatorSpec,
+            "engine": EngineSpec,
             "admission": AdmissionSpec,
             "preemption": PreemptionSpec,
             "prefill": PrefillSpec,
@@ -647,6 +675,7 @@ def apply_override(data: dict[str, Any], path: str, value: Any) -> None:
 __all__ = [
     "ALLOCATOR_MODES",
     "ARRIVAL_MODES",
+    "ENGINE_MODES",
     "PIMPHONY_PRESETS",
     "PREEMPTION_MODES",
     "PREFILL_MODES",
@@ -654,6 +683,7 @@ __all__ = [
     "SystemSpec",
     "ParallelismSpec",
     "AllocatorSpec",
+    "EngineSpec",
     "AdmissionSpec",
     "PreemptionSpec",
     "PrefillSpec",

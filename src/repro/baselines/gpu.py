@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.api.registry import register_system
 from repro.models.llm import LLMConfig
 from repro.serving.interfaces import StepResult
@@ -132,6 +134,51 @@ class GPUSystemModel:
             seconds=fc_seconds + attention_seconds + sync_seconds,
             pim_utilization=0.0,
         )
+
+    def decode_span(
+        self, context_lengths: Sequence[int], stride: int, count: int
+    ) -> np.ndarray:
+        """Latencies of ``count`` consecutive uniform decode evaluations.
+
+        Element ``j`` equals ``decode_step([c + j * stride for c in
+        context_lengths]).seconds`` bit-for-bit: FC and TP-sync depend only
+        on the (constant) batch size, and attention is linear in the exact
+        integer context sum, reproduced with int64 arithmetic and float64
+        divisions in the same association order as :meth:`decode_step`.
+        The corresponding steps carry zero PIM utilization and zero cycle
+        breakdowns, so callers may skip accumulating those.
+
+        Preconditions (the fast engine guarantees both): every context is
+        positive, and ``stride``/``count`` are positive.
+        """
+        contexts = list(context_lengths)
+        batch = len(contexts)
+        model = self.model
+        bandwidth = self.gpu.memory_bandwidth_bytes
+
+        weight_bytes_per_gpu = model.param_bytes / self.num_gpus
+        weight_seconds = weight_bytes_per_gpu / (
+            bandwidth * self.gpu.weight_stream_efficiency
+        )
+        fc_flops_per_gpu = 2.0 * batch * model.param_count / self.num_gpus
+        compute_seconds = fc_flops_per_gpu / (
+            self.gpu.peak_tflops * 1e12 * self.gpu.compute_efficiency
+        )
+        fc_seconds = max(weight_seconds, compute_seconds)
+
+        attention_efficiency = (
+            self.gpu.attention_stream_efficiency if self.flash_decoding else 0.45
+        )
+        sums = sum(contexts) + np.arange(count, dtype=np.int64) * (stride * batch)
+        kv_bytes = sums * model.kv_bytes_per_token / self.num_gpus
+        attention_seconds = kv_bytes / (bandwidth * attention_efficiency)
+
+        sync_bytes = batch * model.d_model * model.dtype_bytes
+        sync_seconds = (
+            2 * model.num_layers * self.interconnect.all_reduce_seconds(sync_bytes, self.num_gpus)
+        )
+
+        return (fc_seconds + attention_seconds) + sync_seconds
 
 
 def _build_gpu(model, num_modules, plan, pimphony) -> GPUSystemModel:

@@ -95,6 +95,15 @@ class ChunkedAllocator:
         """Chunks available for new reservations."""
         return self.total_chunks - self.committed_chunk_count
 
+    def committed_chunks_for(self, request_id: int) -> int:
+        """Chunks currently committed to one admitted request (0 if unknown).
+
+        Exposed so schedulers (the fast engine's span planner) can predict
+        whether a run of uniform grows can possibly raise
+        :class:`CapacityExceeded` without mutating allocator state.
+        """
+        return self._committed.get(request_id, 0)
+
     def can_admit(self, tokens: int) -> bool:
         """Whether a request needing ``tokens`` of context fits right now.
 

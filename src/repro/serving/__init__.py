@@ -33,6 +33,7 @@ from repro.serving.admission import (
     PriorityAdmission,
 )
 from repro.serving.engine import EngineResult, ServingEngine, serve
+from repro.serving.fast_engine import FastServingEngine
 from repro.serving.interfaces import (
     CapacityExceeded,
     DecodeSystem,
@@ -45,7 +46,13 @@ from repro.serving.interfaces import (
     build_allocator,
 )
 from repro.serving.latency_cache import StepLatencyCache
-from repro.serving.lifecycle import LatencyStats, LifecycleTracker, RequestRecord, percentile
+from repro.serving.lifecycle import (
+    LatencyStats,
+    LifecycleTracker,
+    RequestRecord,
+    percentile,
+    percentiles,
+)
 from repro.serving.preemption import (
     EvictLargest,
     EvictLRU,
@@ -85,6 +92,7 @@ __all__ = [
     "PriorityAdmission",
     "EngineResult",
     "ServingEngine",
+    "FastServingEngine",
     "serve",
     "CapacityExceeded",
     "DecodeSystem",
@@ -108,6 +116,7 @@ __all__ = [
     "LifecycleTracker",
     "RequestRecord",
     "percentile",
+    "percentiles",
     "LinearPrefillModel",
     "PrefillConfig",
     "PrefillModel",

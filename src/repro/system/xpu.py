@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.api.registry import register_system
 from repro.models.llm import LLMConfig
 from repro.serving.interfaces import StepResult
@@ -157,6 +159,40 @@ class XPUOnlySystem:
         kv_bytes = sum(contexts) * model.kv_bytes_per_token / self.num_modules
         attention_seconds = kv_bytes / self.xpu.memory_bandwidth_bytes
         return StepResult(seconds=fc_seconds + attention_seconds, pim_utilization=0.0)
+
+    def decode_span(
+        self, context_lengths: Sequence[int], stride: int, count: int
+    ) -> np.ndarray:
+        """Latencies of ``count`` consecutive uniform decode evaluations.
+
+        Element ``j`` equals ``decode_step([c + j * stride for c in
+        context_lengths]).seconds`` bit-for-bit: the FC roofline depends
+        only on the (constant) batch size, and attention is linear in the
+        exact integer context sum, which int64 arithmetic and a single
+        float64 division reproduce as long as every intermediate stays
+        below 2**53 (always true for realistic KV capacities).  The
+        corresponding steps carry zero PIM utilization and zero cycle
+        breakdowns, so callers may skip accumulating those.
+
+        Preconditions (the fast engine guarantees both): every context is
+        positive, and ``stride``/``count`` are positive.
+        """
+        contexts = list(context_lengths)
+        model = self.model
+        fc_seconds = model.num_layers * fc_layer_seconds(
+            xpu=self.xpu,
+            batch_size=len(contexts),
+            d_model=model.d_model,
+            kv_dim=model.kv_dim,
+            ffn_dim=model.ffn_dim,
+            gated_ffn=model.gated_ffn,
+            tensor_parallel=self.num_modules,
+            dtype_bytes=model.dtype_bytes,
+        )
+        sums = sum(contexts) + np.arange(count, dtype=np.int64) * (stride * len(contexts))
+        kv_bytes = sums * model.kv_bytes_per_token / self.num_modules
+        attention_seconds = kv_bytes / self.xpu.memory_bandwidth_bytes
+        return fc_seconds + attention_seconds
 
     def prefill_seconds(self, prompt_tokens: int) -> float:
         """Roofline latency of prefilling one ``prompt_tokens``-long prompt.

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Sequence
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -53,6 +53,49 @@ class Request:
     def final_context(self) -> int:
         """Context length when the request completes."""
         return self.prompt_tokens + self.output_tokens
+
+
+def _fast_request(
+    request_id: int,
+    prompt_tokens: int,
+    output_tokens: int,
+    arrival_s: float = 0.0,
+    priority: int = 0,
+    session: int | None = None,
+) -> Request:
+    """Construct a :class:`Request` without re-running ``__post_init__``.
+
+    Million-request traces pay the dataclass ``__init__`` + validation cost
+    once per request; the bulk generators below validate whole fields with
+    numpy instead (raising the same error messages), then build the
+    instances directly.  Callers must have validated every field.
+    """
+    request = object.__new__(Request)
+    # object.__setattr__ reaches the instance-__dict__ descriptor directly,
+    # sidestepping both the frozen __setattr__ guard and the per-field
+    # object.__setattr__ calls the generated __init__ would make.
+    object.__setattr__(
+        request,
+        "__dict__",
+        {
+            "request_id": request_id,
+            "prompt_tokens": prompt_tokens,
+            "output_tokens": output_tokens,
+            "arrival_s": arrival_s,
+            "priority": priority,
+            "session": session,
+        },
+    )
+    return request
+
+
+def _with_fields(request: Request, **changes) -> Request:
+    """Clone a validated :class:`Request` with ``changes``, skipping
+    ``__post_init__`` (``dataclasses.replace`` re-validates every field,
+    which dominates trace post-processing at large n)."""
+    clone = object.__new__(Request)
+    object.__setattr__(clone, "__dict__", {**request.__dict__, **changes})
+    return clone
 
 
 @dataclass(frozen=True)
@@ -117,9 +160,15 @@ def generate_trace(
     rng = np.random.default_rng(seed)
     lengths = stats.sample(num_requests, rng)
     generate = output_tokens if output_tokens is not None else stats.output_tokens
+    # Bulk path: truncate and validate the whole sample at once (int64
+    # astype truncates like int(), so values are unchanged), then build the
+    # requests without per-instance re-validation.
+    prompts = np.asarray(lengths).astype(np.int64).tolist()
+    if generate <= 0 or (prompts and min(prompts) <= 0):
+        raise ValueError("prompt_tokens and output_tokens must be positive")
     requests = tuple(
-        Request(request_id=index, prompt_tokens=int(length), output_tokens=generate)
-        for index, length in enumerate(lengths)
+        _fast_request(request_id=index, prompt_tokens=prompt, output_tokens=generate)
+        for index, prompt in enumerate(prompts)
     )
     return RequestTrace(dataset=stats.name, requests=requests)
 
@@ -144,9 +193,13 @@ def poisson_arrivals(trace: RequestTrace, rate_rps: float, seed: int = 0) -> Req
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / rate_rps, size=len(trace.requests))
     times = np.cumsum(gaps)
+    # Exponential gaps are non-negative, so the cumulative times are sorted
+    # and only the final (largest) one can have overflowed to infinity.
+    if times.size and not np.isfinite(times[-1]):
+        raise ValueError("arrival_s must be finite and non-negative")
     requests = tuple(
-        replace(request, arrival_s=float(time))
-        for request, time in zip(trace.requests, times)
+        _with_fields(request, arrival_s=time)
+        for request, time in zip(trace.requests, times.tolist())
     )
     return RequestTrace(dataset=trace.dataset, requests=requests)
 
@@ -166,9 +219,13 @@ def replay_arrivals(trace: RequestTrace, arrival_times: Sequence[float]) -> Requ
         raise ValueError(
             f"expected {len(trace.requests)} arrival times, got {len(arrival_times)}"
         )
+    times = [float(time) for time in arrival_times]
+    checked = np.asarray(times)
+    if checked.size and not (np.isfinite(checked).all() and (checked >= 0).all()):
+        raise ValueError("arrival_s must be finite and non-negative")
     requests = tuple(
-        replace(request, arrival_s=float(time))
-        for request, time in zip(trace.requests, arrival_times)
+        _with_fields(request, arrival_s=time)
+        for request, time in zip(trace.requests, times)
     )
     return RequestTrace(dataset=trace.dataset, requests=requests)
 
@@ -189,7 +246,7 @@ def assign_sessions(trace: RequestTrace, session_ids: Sequence[int | None]) -> R
             f"expected {len(trace.requests)} session ids, got {len(session_ids)}"
         )
     requests = tuple(
-        replace(request, session=None if session is None else int(session))
+        _with_fields(request, session=None if session is None else int(session))
         for request, session in zip(trace.requests, session_ids)
     )
     return RequestTrace(dataset=trace.dataset, requests=requests)
@@ -214,7 +271,7 @@ def random_sessions(trace: RequestTrace, num_sessions: int, seed: int = 0) -> Re
         raise ValueError("num_sessions must be positive")
     rng = np.random.default_rng(seed)
     ids = rng.integers(0, num_sessions, size=len(trace.requests))
-    return assign_sessions(trace, [int(session) for session in ids])
+    return assign_sessions(trace, ids.tolist())
 
 
 def periodic_priorities(trace: RequestTrace, every: int, priority: int) -> RequestTrace:
@@ -226,7 +283,7 @@ def periodic_priorities(trace: RequestTrace, every: int, priority: int) -> Reque
     if every <= 0:
         raise ValueError("every must be positive")
     requests = tuple(
-        replace(request, priority=priority) if index % every == 0 else request
+        _with_fields(request, priority=priority) if index % every == 0 else request
         for index, request in enumerate(trace.requests)
     )
     return RequestTrace(dataset=trace.dataset, requests=requests)
@@ -297,6 +354,8 @@ def multi_turn_trace(
         )
     if turn_gap_s < 0:
         raise ValueError("turn_gap_s must be non-negative")
+    if not math.isfinite(turn_gap_s):
+        raise ValueError("arrival_s must be finite and non-negative")
     rng = np.random.default_rng(seed)
     jitter = rng.uniform(0.75, 1.25, size=num_sessions)
     offsets = rng.uniform(0.0, turn_gap_s, size=num_sessions) if turn_gap_s > 0 else None
@@ -307,14 +366,18 @@ def multi_turn_trace(
         return max(1, min(prompt, context_window - output_tokens))
 
     prompts = [clamp(max(1, int(round(first_prompt_tokens * j)))) for j in jitter]
+    offset_list = offsets.tolist() if offsets is not None else None
     requests = []
     for turn in range(turns_per_session):
         for session in range(num_sessions):
             arrival = 0.0
-            if offsets is not None:
-                arrival = turn * turn_gap_s + float(offsets[session])
+            if offset_list is not None:
+                arrival = turn * turn_gap_s + offset_list[session]
+            # Every field is validated above (prompts are clamped >= 1,
+            # arrivals are finite and non-negative by construction), so the
+            # bulk constructor can skip per-request re-validation.
             requests.append(
-                Request(
+                _fast_request(
                     request_id=len(requests),
                     prompt_tokens=prompts[session],
                     output_tokens=output_tokens,
@@ -396,18 +459,35 @@ def _synthetic_trace(spec: "TraceSpec", context_window: int, seed: int) -> Reque
     but kept in the signature so all sources share it.
     """
     del seed
-    requests = []
-    for index in range(spec.num_requests):
-        heavy = spec.heavy_every > 0 and index % spec.heavy_every == 0
-        prompt = spec.heavy_prompt_tokens if heavy else spec.prompt_tokens
-        requests.append(
-            Request(
-                request_id=index,
-                prompt_tokens=min(prompt, context_window),
-                output_tokens=spec.output_tokens if spec.output_tokens else 32,
-            )
+    output = spec.output_tokens if spec.output_tokens else 32
+    # Only two request shapes exist; validating one Request per shape keeps
+    # the exact constructor errors while the remaining n-2 instances take
+    # the bulk path.
+    normal = Request(
+        request_id=0,
+        prompt_tokens=min(spec.prompt_tokens, context_window),
+        output_tokens=output,
+    ).prompt_tokens
+    heavy_prompt = normal
+    if spec.heavy_every > 0:
+        heavy_prompt = Request(
+            request_id=0,
+            prompt_tokens=min(spec.heavy_prompt_tokens, context_window),
+            output_tokens=output,
+        ).prompt_tokens
+    requests = tuple(
+        _fast_request(
+            request_id=index,
+            prompt_tokens=(
+                heavy_prompt
+                if spec.heavy_every > 0 and index % spec.heavy_every == 0
+                else normal
+            ),
+            output_tokens=output,
         )
-    return RequestTrace(dataset="synthetic", requests=tuple(requests))
+        for index in range(spec.num_requests)
+    )
+    return RequestTrace(dataset="synthetic", requests=requests)
 
 
 def _multi_turn_source(spec: "TraceSpec", context_window: int, seed: int) -> RequestTrace:

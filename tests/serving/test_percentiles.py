@@ -1,0 +1,58 @@
+"""``percentiles`` batching must be bit-identical to repeated ``percentile``."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.serving import LatencyStats, RequestRecord, percentile, percentiles
+
+
+class TestPercentilesBatch:
+    def test_matches_single_calls_bit_for_bit(self):
+        rng = random.Random(11)
+        for size in (1, 2, 7, 100, 1001):
+            samples = [rng.expovariate(3.0) for _ in range(size)]
+            fractions = (0.0, 0.25, 0.50, 0.95, 0.99, 1.0)
+            batched = percentiles(samples, fractions)
+            singles = tuple(percentile(samples, fraction) for fraction in fractions)
+            assert batched == singles
+
+    def test_empty_samples(self):
+        assert percentiles([], (0.5, 0.95)) == (0.0, 0.0)
+
+    def test_fraction_range_checked(self):
+        with pytest.raises(ValueError):
+            percentiles([1.0], (0.5, 1.5))
+        with pytest.raises(ValueError):
+            percentiles([1.0], (-0.1,))
+
+    def test_from_records_unchanged_by_batching(self):
+        """LatencyStats still reports the exact per-metric percentiles."""
+        rng = random.Random(23)
+        records = []
+        for request_id in range(200):
+            arrival = rng.uniform(0.0, 5.0)
+            first = arrival + rng.uniform(0.01, 1.0)
+            finish = first + rng.uniform(0.1, 9.0)
+            record = RequestRecord(
+                request_id=request_id,
+                prompt_tokens=128,
+                output_tokens=32,
+                arrival_s=arrival,
+                admitted_s=arrival,
+                first_token_s=first,
+                finish_s=finish,
+            )
+            records.append(record)
+        stats = LatencyStats.from_records(records)
+        ttfts = [record.ttft_s for record in records]
+        latencies = [record.latency_s for record in records]
+        assert stats.ttft_p50_s == percentile(ttfts, 0.50)
+        assert stats.ttft_p95_s == percentile(ttfts, 0.95)
+        assert stats.ttft_p99_s == percentile(ttfts, 0.99)
+        assert stats.latency_p50_s == percentile(latencies, 0.50)
+        assert stats.latency_p99_s == percentile(latencies, 0.99)
+        assert math.isclose(stats.ttft_mean_s, sum(ttfts) / len(ttfts))

@@ -194,3 +194,57 @@ class TestMultiTurnTrace:
         ):
             with pytest.raises(ValueError):
                 self.build(**overrides)
+
+
+class TestFastRequestPath:
+    """The O(n) bulk construction path must preserve dataclass semantics."""
+
+    def test_fast_built_requests_equal_constructor_built(self):
+        trace = generate_trace(get_dataset("qmsum"), 16, seed=3, output_tokens=24)
+        rebuilt = [
+            Request(
+                request_id=request.request_id,
+                prompt_tokens=request.prompt_tokens,
+                output_tokens=request.output_tokens,
+                arrival_s=request.arrival_s,
+                priority=request.priority,
+                session=request.session,
+            )
+            for request in trace.requests
+        ]
+        assert list(trace.requests) == rebuilt
+
+    def test_dataclass_semantics_survive(self):
+        from dataclasses import asdict, replace
+
+        trace = poisson_arrivals(
+            generate_trace(get_dataset("qmsum"), 8, seed=5), rate_rps=100.0, seed=5
+        )
+        request = trace.requests[3]
+        clone = replace(request, priority=2)
+        assert clone.priority == 2
+        assert clone.prompt_tokens == request.prompt_tokens
+        assert asdict(request)["arrival_s"] == request.arrival_s
+        with pytest.raises(Exception):
+            request.priority = 9  # still frozen
+
+    def test_million_scale_generation_is_linear_enough(self):
+        import time
+
+        stats = get_dataset("qmsum")
+        start = time.perf_counter()
+        small = generate_trace(stats, 20_000, seed=1, output_tokens=8)
+        small_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        large = generate_trace(stats, 100_000, seed=1, output_tokens=8)
+        large_wall = time.perf_counter() - start
+        assert len(small.requests) == 20_000
+        assert len(large.requests) == 100_000
+        # 5x the requests should cost well under the ~25x an O(n^2) path
+        # would; the generous bound keeps CI noise out of the signal.
+        assert large_wall < small_wall * 15 + 0.5
+
+    def test_poisson_overflow_guard_message(self):
+        trace = generate_trace(get_dataset("qmsum"), 4, seed=0)
+        with pytest.raises(ValueError, match="rate_rps must be positive"):
+            poisson_arrivals(trace, rate_rps=0.0, seed=0)
