@@ -8,7 +8,7 @@ all driven through the declarative experiment API:
    TPOT and end-to-end latency percentiles per admission policy.
 2. **Pluggable admission** -- the same trace served under different
    ``admission.policy`` values shows the packing/fairness trade-off
-   (every fourth request is tagged urgent via ``trace.priority_every``).
+   (every fourth request lands in an urgent SLO tier via ``tiers``).
 3. **Bucketed latency cache** -- a 1k-request sweep evaluated per-step
    versus with ``latency_cache_bucket`` set, demonstrating the >=5x
    wall-clock speedup with sub-percent throughput error.
@@ -37,8 +37,10 @@ def admission_policy_comparison(base: ExperimentSpec) -> None:
             "trace.num_requests": 64,
             "trace.arrival": "poisson",
             "trace.rate_rps": 40.0,
-            "trace.priority_every": 4,
-            "trace.priority_value": 5,
+            "tiers": [
+                {"name": "urgent", "priority": 5, "share": 0.25},
+                {"name": "standard", "priority": 0},
+            ],
         }
     )
 

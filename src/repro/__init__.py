@@ -54,6 +54,8 @@ from repro.api import (
     RouterSpec,
     RunReport,
     SystemSpec,
+    TierReport,
+    TierSpec,
     TraceSpec,
     build,
     register_admission_policy,
@@ -74,6 +76,9 @@ from repro.serving import (
     EngineResult,
     EvictLargest,
     EvictLRU,
+    EvictPriorityLargest,
+    EvictPriorityLRU,
+    EvictPriorityYoungest,
     EvictYoungest,
     FastServingEngine,
     FCFSAdmission,
@@ -98,6 +103,7 @@ from repro.serving import (
 from repro.system.serving import ServingResult, simulate_serving
 from repro.workloads.datasets import get_dataset, list_datasets
 from repro.workloads.traces import (
+    assign_tiers,
     generate_trace,
     multi_turn_trace,
     partition_trace,
@@ -137,6 +143,9 @@ __all__ = [
     "EvictLRU",
     "EvictLargest",
     "EvictYoungest",
+    "EvictPriorityLRU",
+    "EvictPriorityLargest",
+    "EvictPriorityYoungest",
     # replica router + routing policies
     "ReplicaRouter",
     "FleetResult",
@@ -159,6 +168,7 @@ __all__ = [
     "partition_trace",
     "random_sessions",
     "periodic_priorities",
+    "assign_tiers",
     # declarative experiment API
     "ExperimentSpec",
     "ModelSpec",
@@ -170,9 +180,11 @@ __all__ = [
     "PreemptionSpec",
     "PrefillSpec",
     "PrefixCacheSpec",
+    "TierSpec",
     "TraceSpec",
     "RouterSpec",
     "RunReport",
+    "TierReport",
     "build",
     "run",
     "sweep_specs",

@@ -6,6 +6,7 @@ from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.api.report import TierReport
     from repro.serving.engine import EngineResult
     from repro.serving.router import FleetResult
 
@@ -138,5 +139,42 @@ def fleet_summary_table(fleet: "FleetResult", title: str = "") -> str:
         "makespan s",
         "TTFT p95 ms",
         "p99 ms",
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def tier_summary_table(tiers: Sequence["TierReport"], title: str = "") -> str:
+    """Render per-tier goodput / SLO-attainment rows of a tiered run.
+
+    One row per :class:`~repro.api.report.TierReport`, ordering exactly as
+    the report does (spec order, then the ``"untiered"`` bucket).
+    """
+    rows = []
+    for tier in tiers:
+        rows.append(
+            [
+                tier.name,
+                tier.priority,
+                tier.num_requests,
+                tier.requests_finished,
+                tier.goodput,
+                tier.ttft_attainment,
+                tier.tpot_attainment,
+                tier.preemptions,
+                tier.latency.ttft_p95_s * 1e3,
+                tier.latency.tpot_mean_s * 1e3,
+            ]
+        )
+    headers = [
+        "tier",
+        "prio",
+        "requests",
+        "finished",
+        "goodput",
+        "TTFT att",
+        "TPOT att",
+        "preempt",
+        "TTFT p95 ms",
+        "TPOT ms",
     ]
     return format_table(headers, rows, title=title)

@@ -55,6 +55,7 @@ _EXPORTS = {
     "PreemptionSpec": "spec",
     "PrefillSpec": "spec",
     "PrefixCacheSpec": "spec",
+    "TierSpec": "spec",
     "TraceSpec": "spec",
     "RouterSpec": "spec",
     "apply_override": "spec",
@@ -70,6 +71,7 @@ _EXPORTS = {
     "sweep_specs": "build",
     # report
     "RunReport": "report",
+    "TierReport": "report",
     # cli
     "main": "cli",
 }

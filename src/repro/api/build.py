@@ -31,7 +31,7 @@ from repro.api.registry import (
     TRACES,
 )
 from repro.api.report import RunReport
-from repro.api.spec import ExperimentSpec
+from repro.api.spec import ExperimentSpec, TierSpec
 from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig, get_model
 from repro.serving.engine import ServingEngine
@@ -45,7 +45,7 @@ from repro.serving.router import ReplicaRouter
 from repro.system.parallelism import ParallelismPlan
 from repro.workloads.traces import (
     RequestTrace,
-    periodic_priorities,
+    assign_tiers,
     poisson_arrivals,
     random_sessions,
 )
@@ -112,8 +112,17 @@ def build_trace(spec: ExperimentSpec, model: LLMConfig | None = None) -> Request
         # Sources that already tag sessions (e.g. "multi-turn") keep their
         # layout; random assignment would sever the prefix relation.
         trace = random_sessions(trace, spec.trace.num_sessions, seed=session_seed)
-    if spec.trace.priority_every > 0:
-        trace = periodic_priorities(trace, spec.trace.priority_every, spec.trace.priority_value)
+    if spec.tiers:
+        trace = assign_tiers(trace, spec.tiers)
+    elif spec.trace.priority_every > 0:
+        # Deprecated periodic tagging, expressed through the same tier
+        # machinery: a share of 1/N tags exactly every N-th request.
+        legacy = TierSpec(
+            name=f"priority-{spec.trace.priority_value}",
+            priority=spec.trace.priority_value,
+            share=1.0 / spec.trace.priority_every,
+        )
+        trace = assign_tiers(trace, (legacy,))
     return trace
 
 

@@ -9,8 +9,10 @@ Subcommands:
   the engine loop to stderr.
 * ``validate SPEC.json [--set key=value]`` -- type/range/registry-key check
   a spec without running it.
-* ``list [systems|admission|routing|preemption|prefill|traces|models|
-  datasets]`` -- show the registered component vocabulary specs can name.
+* ``list [systems|admission|routing|preemption|prefill|traces|tiers|
+  models|datasets]`` -- show the registered component vocabulary specs
+  can name (``tiers`` lists the :class:`TierSpec` fields ``--set
+  tiers.N.field`` paths can target).
 
 ``--set`` and ``--sweep`` take dotted paths into the spec
 (``trace.num_requests=64``, ``system.pimphony=baseline,full``); values are
@@ -172,6 +174,14 @@ def _command_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tier_fields() -> list[str]:
+    import dataclasses
+
+    from repro.api.spec import TierSpec
+
+    return [field.name for field in dataclasses.fields(TierSpec)]
+
+
 def _command_list(args: argparse.Namespace) -> int:
     from repro.models.llm import list_models
     from repro.workloads.datasets import list_datasets
@@ -183,6 +193,7 @@ def _command_list(args: argparse.Namespace) -> int:
         "preemption": lambda: PREEMPTION_POLICIES.names(),
         "prefill": lambda: PREFILL_MODELS.names(),
         "traces": lambda: TRACES.names(),
+        "tiers": _tier_fields,
         "models": list_models,
         "datasets": list_datasets,
     }
@@ -244,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
             "preemption",
             "prefill",
             "traces",
+            "tiers",
             "models",
             "datasets",
         ),

@@ -17,13 +17,106 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.analysis.reporting import fleet_summary_table
+from repro.analysis.reporting import fleet_summary_table, tier_summary_table
 from repro.serving.engine import EngineResult
-from repro.serving.lifecycle import LatencyStats
+from repro.serving.lifecycle import LatencyStats, RequestRecord
 from repro.serving.router import FleetResult
 
 if TYPE_CHECKING:
+    from collections.abc import Sequence
+
     from repro.api.spec import ExperimentSpec
+
+
+@dataclass(frozen=True)
+class TierReport:
+    """Per-tier slice of one run: goodput, SLO attainment, pressure, latency.
+
+    Counts are over the run's request records; a request that never
+    finished (or was dropped) counts against goodput and against any
+    deadline its tier configured.  A record without a deadline attains
+    that SLO vacuously, so ``goodput`` reduces to the finished fraction
+    for tiers with no deadlines.
+
+    Attributes:
+        name: Tier name (``"untiered"`` for the leftover bucket).
+        priority: The tier's scheduling priority.
+        num_requests: Requests tagged into this tier that reached an engine.
+        requests_finished: Of those, how many ran to completion.
+        goodput_requests: Finished inside every configured deadline.
+        ttft_attained / tpot_attained: Requests meeting each deadline
+            (vacuously when the tier sets none).
+        preemptions: Evictions suffered by this tier's requests.
+        latency: TTFT / TPOT / end-to-end statistics over the tier's
+            finished requests.
+    """
+
+    name: str
+    priority: int
+    num_requests: int
+    requests_finished: int
+    goodput_requests: int
+    ttft_attained: int
+    tpot_attained: int
+    preemptions: int
+    latency: LatencyStats
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of the tier's requests finishing inside their SLO."""
+        return self.goodput_requests / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def ttft_attainment(self) -> float:
+        """Fraction of the tier's requests meeting the TTFT deadline."""
+        return self.ttft_attained / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def tpot_attainment(self) -> float:
+        """Fraction of the tier's requests meeting the TPOT deadline."""
+        return self.tpot_attained / self.num_requests if self.num_requests else 0.0
+
+    @staticmethod
+    def from_records(name: str, priority: int, records: "Sequence[RequestRecord]") -> "TierReport":
+        return TierReport(
+            name=name,
+            priority=priority,
+            num_requests=len(records),
+            requests_finished=sum(1 for record in records if record.finished),
+            goodput_requests=sum(1 for record in records if record.slo_ok),
+            ttft_attained=sum(1 for record in records if record.ttft_ok),
+            tpot_attained=sum(1 for record in records if record.tpot_ok),
+            preemptions=sum(record.preemptions for record in records),
+            latency=LatencyStats.from_records(records),
+        )
+
+
+def _tier_reports(
+    spec: "ExperimentSpec", records: "Sequence[RequestRecord]"
+) -> tuple[TierReport, ...]:
+    """Slice a run's request records into the spec's tiers, in spec order.
+
+    Records whose tier matches no spec tier (including ``None``) land in a
+    trailing ``"untiered"`` bucket.  Requests dropped at the *router*
+    never reach an engine and leave no record, so they appear in no tier
+    slice -- the all-up rollup still counts them via ``num_requests``.
+    """
+    if not spec.tiers:
+        return ()
+    buckets: dict[str, list[RequestRecord]] = {tier.name: [] for tier in spec.tiers}
+    leftovers: list[RequestRecord] = []
+    for record in records:
+        if record.tier in buckets:
+            buckets[record.tier].append(record)
+        else:
+            leftovers.append(record)
+    reports = [
+        TierReport.from_records(tier.name, tier.priority, buckets[tier.name])
+        for tier in spec.tiers
+    ]
+    if leftovers and "untiered" not in buckets:
+        reports.append(TierReport.from_records("untiered", 0, leftovers))
+    return tuple(reports)
 
 
 @dataclass(frozen=True)
@@ -66,6 +159,10 @@ class RunReport:
         prefix_hit_tokens: Prompt tokens discounted from prefill/restore
             work by cache hits.
         prefix_evictions: Session prefixes evicted under capacity pressure.
+        tier_reports: Per-tier goodput/attainment/latency slices
+            (:class:`TierReport`), in spec order plus a trailing
+            ``"untiered"`` bucket when leftover requests exist; empty for
+            untiered specs.
     """
 
     spec: "ExperimentSpec"
@@ -100,6 +197,9 @@ class RunReport:
     prefix_misses: int = 0
     prefix_hit_tokens: int = 0
     prefix_evictions: int = 0
+    #: Per-tier metric slices (empty for untiered specs, whose report
+    #: schema stays bit-compatible with the pre-tier API).
+    tier_reports: tuple[TierReport, ...] = ()
     _fleet: FleetResult | None = field(default=None, repr=False, compare=False)
 
     # -- derived metrics ----------------------------------------------------
@@ -148,6 +248,37 @@ class RunReport:
         lookups = self.prefix_hits + self.prefix_misses
         return self.prefix_hits / lookups if lookups else 0.0
 
+    @property
+    def goodput_requests(self) -> int:
+        """Requests finishing inside their SLO, summed over every tier.
+
+        Meaningful for tiered runs only (0 when the spec declares no
+        tiers, since there are no deadlines to attain).
+        """
+        return sum(tier.goodput_requests for tier in self.tier_reports)
+
+    @property
+    def goodput(self) -> float:
+        """All-up goodput fraction over the input trace (tiered runs).
+
+        Router-dropped requests never reach an engine yet still count
+        against the denominator -- an operator buys finished-in-SLO
+        requests out of everything submitted.
+        """
+        if not self.tier_reports or self.num_requests <= 0:
+            return 0.0
+        return self.goodput_requests / self.num_requests
+
+    def tier_report(self, name: str) -> TierReport:
+        """The named tier's slice; raises ``KeyError`` for unknown names."""
+        for tier in self.tier_reports:
+            if tier.name == name:
+                return tier
+        raise KeyError(
+            f"no tier named {name!r}; tiers: "
+            f"{', '.join(tier.name for tier in self.tier_reports) or '<none>'}"
+        )
+
     # -- adapters -----------------------------------------------------------
 
     @staticmethod
@@ -186,6 +317,7 @@ class RunReport:
             prefix_misses=result.prefix_misses,
             prefix_hit_tokens=result.prefix_hit_tokens,
             prefix_evictions=result.prefix_evictions,
+            tier_reports=_tier_reports(spec, result.request_records),
         )
 
     @staticmethod
@@ -245,6 +377,7 @@ class RunReport:
             prefix_misses=fleet.prefix_misses,
             prefix_hit_tokens=fleet.prefix_hit_tokens,
             prefix_evictions=sum(result.prefix_evictions for result in replicas),
+            tier_reports=_tier_reports(spec, fleet.request_records),
             _fleet=fleet,
         )
 
@@ -268,11 +401,71 @@ class RunReport:
         return self.replica_results[0]
 
     def summary_table(self, title: str = "") -> str:
-        """Render the run with the fleet summary table (N=1 included)."""
-        return fleet_summary_table(self.fleet, title=title or self.spec.name)
+        """Render the run with the fleet summary table (N=1 included).
+
+        Tiered runs append a per-tier goodput/attainment table after the
+        fleet rows; untiered runs print the fleet table alone, unchanged.
+        """
+        table = fleet_summary_table(self.fleet, title=title or self.spec.name)
+        if self.tier_reports:
+            table += "\n\n" + tier_summary_table(self.tier_reports, title="SLO tiers")
+        return table
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe representation: spec, provenance, metrics, replicas."""
+        """JSON-safe representation: spec, provenance, metrics, replicas.
+
+        Tiered runs add an all-up ``goodput`` pair and a ``tiers`` section
+        to ``metrics``; untiered runs emit the exact pre-tier schema, so
+        their report JSON stays bit-identical.
+        """
+        metrics: dict[str, Any] = {
+            "num_requests": self.num_requests,
+            "requests_served": self.requests_served,
+            "requests_dropped": self.requests_dropped,
+            "total_output_tokens": self.total_output_tokens,
+            "busy_seconds": self.busy_seconds,
+            "makespan_s": self.makespan_s,
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+            "aggregate_throughput_tokens_per_s": self.aggregate_throughput_tokens_per_s,
+            "average_batch_size": self.average_batch_size,
+            "peak_batch_size": self.peak_batch_size,
+            "average_pim_utilization": self.average_pim_utilization,
+            "average_capacity_utilization": self.average_capacity_utilization,
+            "load_imbalance": self.load_imbalance,
+            "preemptions": self.preemptions,
+            "recompute_tokens": self.recompute_tokens,
+            "preemption_overhead_s": self.preemption_overhead_s,
+            "requeue_delay_mean_s": self.requeue_delay_mean_s,
+            "prefix_cache_enabled": self.prefix_cache_enabled,
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "prefix_hit_tokens": self.prefix_hit_tokens,
+            "prefix_evictions": self.prefix_evictions,
+            "latency": dataclasses.asdict(self.latency),
+        }
+        if self.tier_reports:
+            metrics["goodput"] = self.goodput
+            metrics["goodput_requests"] = self.goodput_requests
+            metrics["tiers"] = {
+                tier.name: {
+                    "priority": tier.priority,
+                    "num_requests": tier.num_requests,
+                    "requests_finished": tier.requests_finished,
+                    "goodput_requests": tier.goodput_requests,
+                    "goodput": tier.goodput,
+                    "goodput_rps": (
+                        tier.goodput_requests / self.makespan_s
+                        if self.makespan_s > 0
+                        else 0.0
+                    ),
+                    "ttft_attainment": tier.ttft_attainment,
+                    "tpot_attainment": tier.tpot_attainment,
+                    "preemptions": tier.preemptions,
+                    "latency": dataclasses.asdict(tier.latency),
+                }
+                for tier in self.tier_reports
+            }
         return {
             "spec": self.spec.to_dict(),
             "spec_hash": self.spec_hash,
@@ -284,32 +477,7 @@ class RunReport:
             "prefill_mode": self.prefill_mode,
             "engine_mode": self.engine_mode,
             "preemption_policy": self.preemption_policy,
-            "metrics": {
-                "num_requests": self.num_requests,
-                "requests_served": self.requests_served,
-                "requests_dropped": self.requests_dropped,
-                "total_output_tokens": self.total_output_tokens,
-                "busy_seconds": self.busy_seconds,
-                "makespan_s": self.makespan_s,
-                "throughput_tokens_per_s": self.throughput_tokens_per_s,
-                "aggregate_throughput_tokens_per_s": self.aggregate_throughput_tokens_per_s,
-                "average_batch_size": self.average_batch_size,
-                "peak_batch_size": self.peak_batch_size,
-                "average_pim_utilization": self.average_pim_utilization,
-                "average_capacity_utilization": self.average_capacity_utilization,
-                "load_imbalance": self.load_imbalance,
-                "preemptions": self.preemptions,
-                "recompute_tokens": self.recompute_tokens,
-                "preemption_overhead_s": self.preemption_overhead_s,
-                "requeue_delay_mean_s": self.requeue_delay_mean_s,
-                "prefix_cache_enabled": self.prefix_cache_enabled,
-                "prefix_hits": self.prefix_hits,
-                "prefix_misses": self.prefix_misses,
-                "prefix_hit_rate": self.prefix_hit_rate,
-                "prefix_hit_tokens": self.prefix_hit_tokens,
-                "prefix_evictions": self.prefix_evictions,
-                "latency": dataclasses.asdict(self.latency),
-            },
+            "metrics": metrics,
             "replicas": [
                 {
                     "system": result.system_name,
@@ -330,4 +498,4 @@ class RunReport:
         }
 
 
-__all__ = ["RunReport"]
+__all__ = ["RunReport", "TierReport"]

@@ -19,8 +19,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.api.registry import (
     ADMISSION_POLICIES,
@@ -284,12 +285,19 @@ class PreemptionSpec:
         swap_bandwidth_gbps: Host link bandwidth for the ``"swap"`` mode.
         recompute_per_token_s: Fallback re-prefill cost for the
             ``"recompute"`` mode when no prefill model is configured.
+        starvation_limit: Cross-tier anti-starvation knob: a request that
+            has already been preempted this many times becomes ineligible
+            as a victim while any other candidate remains, so a saturating
+            premium flood cannot evict the same best-effort request
+            forever.  ``null`` (the default) disables the guard and
+            reproduces pre-tier victim selection exactly.
     """
 
     policy: str = "none"
     mode: str = "recompute"
     swap_bandwidth_gbps: float = 64.0
     recompute_per_token_s: float = 0.0
+    starvation_limit: int | None = None
 
     def __post_init__(self) -> None:
         _check_name(self.policy, "preemption.policy")
@@ -300,6 +308,7 @@ class PreemptionSpec:
             f"preemption.swap_bandwidth_gbps must be positive, got {self.swap_bandwidth_gbps!r}",
         )
         _check_non_negative_float(self.recompute_per_token_s, "preemption.recompute_per_token_s")
+        _check_positive_int(self.starvation_limit, "preemption.starvation_limit", optional=True)
 
 
 @dataclass(frozen=True)
@@ -326,6 +335,109 @@ class PrefixCacheSpec:
         _check_positive_int(
             self.capacity_tokens, "prefix_cache.capacity_tokens", optional=True
         )
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One workload SLO tier: which requests belong to it and what it buys.
+
+    Tiers make service classes first-class in the experiment spec: trace
+    building tags every matched request with the tier's name, priority and
+    TTFT/TPOT deadlines, priority-aware preemption policies read the
+    priority when picking victims, and the :class:`~repro.api.report.RunReport`
+    gains a per-tier metrics section (goodput, SLO attainment, preemptions,
+    latency percentiles).
+
+    Membership is declared by exactly one predicate (or neither):
+
+    * ``sessions`` claims every request whose session id is listed.
+    * ``share`` claims that fraction of the remaining trace,
+      deterministically in trace order (``share=0.25`` tags every 4th
+      request, reproducing the deprecated ``trace.priority_every`` pattern).
+    * Neither makes the tier the single *catch-all* for leftover requests.
+
+    Attributes:
+        name: Tier label carried into request records and the report.
+        priority: Scheduling priority (larger is more urgent); consulted by
+            priority admission and the ``evict-priority-*`` preemption
+            policies.
+        share: Fraction of the trace in ``(0, 1]`` claimed by this tier.
+        sessions: Session ids claimed by this tier.
+        ttft_deadline_s: Time-to-first-token SLO deadline in seconds;
+            ``null`` means the tier has no TTFT deadline (always attained).
+        tpot_deadline_s: Per-output-token (TPOT) SLO deadline in seconds.
+    """
+
+    name: str = "default"
+    priority: int = 0
+    share: float | None = None
+    sessions: tuple[int, ...] | None = None
+    ttft_deadline_s: float | None = None
+    tpot_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "name")
+        _require(
+            _is_int(self.priority),
+            f"priority must be an integer, got {self.priority!r}",
+        )
+        if self.share is not None:
+            _require(
+                isinstance(self.share, (int, float))
+                and not isinstance(self.share, bool)
+                and 0 < self.share <= 1,
+                f"share must be within (0, 1] or null, got {self.share!r}",
+            )
+        if self.sessions is not None:
+            _require(
+                isinstance(self.sessions, (list, tuple))
+                and len(self.sessions) > 0
+                and all(_is_int(session) and session >= 0 for session in self.sessions),
+                "sessions must be a non-empty list of non-negative session ids "
+                f"or null, got {self.sessions!r}",
+            )
+            object.__setattr__(self, "sessions", tuple(self.sessions))
+        _require(
+            self.share is None or self.sessions is None,
+            "share and sessions are mutually exclusive: a tier claims a "
+            "fraction of the trace or a set of sessions, not both",
+        )
+        for value, where in (
+            (self.ttft_deadline_s, "ttft_deadline_s"),
+            (self.tpot_deadline_s, "tpot_deadline_s"),
+        ):
+            if value is not None:
+                _require(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and math.isfinite(value)
+                    and value > 0,
+                    f"{where} must be a positive number or null, got {value!r}",
+                )
+
+    @property
+    def is_catch_all(self) -> bool:
+        """Whether this tier claims leftover requests (no predicate)."""
+        return self.share is None and self.sessions is None
+
+
+def _tiers_from_data(value: Any) -> tuple[TierSpec, ...]:
+    """Parse the ``tiers`` list, prefixing errors with the exact tier index."""
+    if isinstance(value, (str, bytes, Mapping)) or not isinstance(value, Sequence):
+        raise ValueError(f"tiers must be a list of tier mappings, got {type(value).__name__}")
+    tiers: list[TierSpec] = []
+    for index, item in enumerate(value):
+        if isinstance(item, TierSpec):
+            tiers.append(item)
+            continue
+        try:
+            tiers.append(_from_mapping(TierSpec, item, f"tiers[{index}]"))
+        except ValueError as error:
+            message = str(error)
+            if message.startswith(f"tiers[{index}]"):
+                raise
+            raise ValueError(f"tiers[{index}].{message}") from None
+    return tuple(tiers)
 
 
 @dataclass(frozen=True)
@@ -358,8 +470,11 @@ class TraceSpec:
         followup_tokens: New user tokens added per follow-up turn.
         turn_gap_s: Deterministic inter-turn arrival spacing of the
             ``"multi-turn"`` source (0 leaves arrivals to ``arrival``).
-        priority_every: When positive, mark every N-th request with
-            ``priority_value`` so priority admission has work to do.
+        priority_every: Deprecated in favour of :attr:`ExperimentSpec.tiers`
+            (a tier with ``share=1/N`` tags the same requests).  When
+            positive, mark every N-th request with ``priority_value`` so
+            priority admission has work to do; mutually exclusive with a
+            non-empty tier list.
         priority_value: Priority assigned by ``priority_every``.
     """
 
@@ -454,6 +569,11 @@ class ExperimentSpec:
 
     Attributes:
         name: Label carried into reports.
+        tiers: Workload SLO tiers (:class:`TierSpec`); trace building tags
+            matched requests with tier name, priority and deadlines, and
+            the report grows per-tier goodput/attainment sections.  An
+            empty list keeps the untiered schema (and ``spec_hash``)
+            bit-for-bit.
         seed: Single seed threaded through trace generation, the arrival
             process and session assignment (identical specs reproduce
             identical traces).
@@ -473,6 +593,7 @@ class ExperimentSpec:
     prefill: PrefillSpec = field(default_factory=PrefillSpec)
     prefix_cache: PrefixCacheSpec = field(default_factory=PrefixCacheSpec)
     trace: TraceSpec = field(default_factory=TraceSpec)
+    tiers: tuple[TierSpec, ...] = ()
     router: RouterSpec | None = None
     seed: int = 0
     step_stride: int = 1
@@ -524,6 +645,7 @@ class ExperimentSpec:
             self.router is None or isinstance(self.router, RouterSpec),
             f"router must be a RouterSpec or null, got {type(self.router).__name__}",
         )
+        self._check_tiers()
         _require(
             _is_int(self.seed) and self.seed >= 0,
             f"seed must be a non-negative integer, got {self.seed!r}",
@@ -538,6 +660,57 @@ class ExperimentSpec:
                 f"PP{self.parallelism.pipeline_parallel} covers {product} modules "
                 f"but system.num_modules is {self.system.num_modules}",
             )
+
+    def _check_tiers(self) -> None:
+        """Cross-tier validation; errors name the exact tier index."""
+        _require(
+            isinstance(self.tiers, (list, tuple)),
+            f"tiers must be a list of TierSpec, got {type(self.tiers).__name__}",
+        )
+        for index, tier in enumerate(self.tiers):
+            _require(
+                isinstance(tier, TierSpec),
+                f"tiers[{index}] must be a TierSpec, got {type(tier).__name__}",
+            )
+        object.__setattr__(self, "tiers", tuple(self.tiers))
+        names: dict[str, int] = {}
+        claimed_sessions: dict[int, int] = {}
+        catch_all: int | None = None
+        total_share = 0.0
+        for index, tier in enumerate(self.tiers):
+            _require(
+                tier.name not in names,
+                f"tiers[{index}].name {tier.name!r} duplicates "
+                f"tiers[{names.get(tier.name)}].name",
+            )
+            names[tier.name] = index
+            if tier.share is not None:
+                total_share += tier.share
+            if tier.is_catch_all:
+                _require(
+                    catch_all is None,
+                    f"tiers[{index}] and tiers[{catch_all}] are both catch-all "
+                    "tiers (neither share nor sessions); at most one tier may "
+                    "claim leftover requests",
+                )
+                catch_all = index
+            for session in tier.sessions or ():
+                _require(
+                    session not in claimed_sessions,
+                    f"tiers[{index}].sessions lists session {session} already "
+                    f"claimed by tiers[{claimed_sessions.get(session)}]",
+                )
+                claimed_sessions[session] = index
+        _require(
+            total_share <= 1.0 + 1e-9,
+            f"tiers[*].share values must sum to at most 1, got {total_share!r}",
+        )
+        _require(
+            not (self.tiers and self.trace.priority_every > 0),
+            "tiers and trace.priority_every are mutually exclusive: the tier "
+            "list replaces periodic priority tagging; drop the deprecated "
+            "trace.priority_every or the tiers",
+        )
 
     # -- registry-key validation -------------------------------------------
 
@@ -578,13 +751,34 @@ class ExperimentSpec:
                 f"trace.dataset: unknown dataset {self.trace.dataset!r}; "
                 f"registered datasets: {', '.join(list_datasets())}"
             )
+        for index, tier in enumerate(self.tiers):
+            if (
+                tier.sessions is not None
+                and self.trace.num_sessions == 0
+                and self.trace.source != "multi-turn"
+            ):
+                raise ValueError(
+                    f"tiers[{index}].sessions: the trace defines no sessions "
+                    "(set trace.num_sessions or use the 'multi-turn' source)"
+                )
         return self
 
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data representation; ``from_dict`` round-trips it exactly."""
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if self.preemption.starvation_limit is None:
+            # A disabled guard keeps the pre-tier preemption schema (and
+            # spec_hash) bit-for-bit.
+            del data["preemption"]["starvation_limit"]
+        if not self.tiers:
+            # Untiered specs keep the pre-tier schema -- and therefore the
+            # same canonical JSON and spec_hash -- bit-for-bit.
+            del data["tiers"]
+        else:
+            data["tiers"] = [dataclasses.asdict(tier) for tier in self.tiers]
+        return data
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -620,6 +814,8 @@ class ExperimentSpec:
                 kwargs[key] = _from_mapping(sub_specs[key], value, key)
             elif key == "router":
                 kwargs[key] = None if value is None else _from_mapping(RouterSpec, value, "router")
+            elif key == "tiers":
+                kwargs[key] = _tiers_from_data(value)
             else:
                 kwargs[key] = value
         return ExperimentSpec(**kwargs)
@@ -653,23 +849,67 @@ class ExperimentSpec:
         return ExperimentSpec.from_dict(data)
 
 
+def _list_index(node: list, part: str, path: str) -> int:
+    """Resolve a list index path component; ``len(node)`` is the append slot."""
+    if not part.isdigit():
+        raise ValueError(
+            f"invalid override path {path!r}: {part!r} must be a list index "
+            f"(0..{len(node)})"
+        )
+    index = int(part)
+    if index > len(node):
+        raise ValueError(
+            f"invalid override path {path!r}: index {index} is out of range "
+            f"for a list of length {len(node)} (use {len(node)} to append)"
+        )
+    return index
+
+
 def apply_override(data: dict[str, Any], path: str, value: Any) -> None:
     """Set ``value`` at a dotted ``path`` inside a nested spec dict.
 
     Intermediate mappings are created as needed (so ``router.replicas=4``
-    works even when the base spec has ``router: null``).
+    works even when the base spec has ``router: null``).  Numeric path
+    components index into lists, which are also created on demand: on an
+    untiered spec ``tiers.0.name=premium`` creates the ``tiers`` list and
+    its first tier; an index equal to the list length appends a new entry.
     """
     parts = path.split(".")
     if not all(parts):
         raise ValueError(f"invalid override path {path!r}")
-    node = data
-    for part in parts[:-1]:
-        child = node.get(part)
-        if not isinstance(child, dict):
-            child = {}
-            node[part] = child
+    node: Any = data
+    for position, part in enumerate(parts[:-1]):
+        # The next component decides what this step must contain: a list
+        # when it is numeric, a mapping otherwise.
+        want_list = parts[position + 1].isdigit()
+        if isinstance(node, list):
+            index = _list_index(node, part, path)
+            if index == len(node):
+                node.append([] if want_list else {})
+            child = node[index]
+            if not isinstance(child, list if want_list else dict):
+                child = [] if want_list else {}
+                node[index] = child
+        else:
+            child = node.get(part)
+            if isinstance(child, list) and not want_list:
+                raise ValueError(
+                    f"invalid override path {path!r}: {parts[position + 1]!r} "
+                    f"must be a list index (0..{len(child)})"
+                )
+            if not isinstance(child, list if want_list else dict):
+                child = [] if want_list else {}
+                node[part] = child
         node = child
-    node[parts[-1]] = value
+    last = parts[-1]
+    if isinstance(node, list):
+        index = _list_index(node, last, path)
+        if index == len(node):
+            node.append(value)
+        else:
+            node[index] = value
+    else:
+        node[last] = value
 
 
 __all__ = [
@@ -688,6 +928,7 @@ __all__ = [
     "PreemptionSpec",
     "PrefillSpec",
     "PrefixCacheSpec",
+    "TierSpec",
     "TraceSpec",
     "RouterSpec",
     "ExperimentSpec",

@@ -10,8 +10,9 @@ Layering, from the outside in:
 * :mod:`repro.serving.engine` -- the :class:`ServingEngine` event loop
   consuming timestamped arrivals.
 * :mod:`repro.serving.preemption` -- pluggable :class:`PreemptionPolicy`
-  implementations (evict-lru / evict-largest / evict-youngest) with swap
-  or recompute cost models, driving the incremental KV lifecycle contract.
+  implementations (evict-lru / evict-largest / evict-youngest plus the
+  tier-aware evict-priority-* family) with swap or recompute cost models,
+  driving the incremental KV lifecycle contract.
 * :mod:`repro.serving.prefill` -- context-length-dependent prefill cost
   models (blocking or chunked) that make TTFT reflect prompt length.
 * :mod:`repro.serving.prefix_cache` -- per-replica prefix/KV reuse for
@@ -56,6 +57,9 @@ from repro.serving.lifecycle import (
 from repro.serving.preemption import (
     EvictLargest,
     EvictLRU,
+    EvictPriorityLargest,
+    EvictPriorityLRU,
+    EvictPriorityYoungest,
     EvictYoungest,
     NoPreemption,
     PreemptionCandidate,
@@ -105,6 +109,9 @@ __all__ = [
     "build_allocator",
     "EvictLargest",
     "EvictLRU",
+    "EvictPriorityLargest",
+    "EvictPriorityLRU",
+    "EvictPriorityYoungest",
     "EvictYoungest",
     "NoPreemption",
     "PreemptionCandidate",

@@ -149,6 +149,10 @@ class _ActiveRequest:
     last_step_s: float = 0.0
     #: Conversation id for prefix-cache lookups (``None`` = no session).
     session: int | None = None
+    #: Scheduling priority (priority-aware preemption policies).
+    priority: int = 0
+    #: Times this request has been evicted (anti-starvation guard).
+    preempt_count: int = 0
 
     def decode_ready(self, clock: float) -> bool:
         return self.ready_s <= clock and self.prefill_done >= self.prefill_total
@@ -349,6 +353,7 @@ class ServingEngine:
                     admitted_s=clock,
                     last_step_s=clock,
                     session=candidate.request.session,
+                    priority=candidate.priority,
                 )
                 cached = 0
                 if (
@@ -436,11 +441,13 @@ class ServingEngine:
                         context_tokens=other.context,
                         admitted_s=other.admitted_s,
                         last_decode_s=other.last_step_s,
+                        priority=other.priority,
+                        preemptions=other.preempt_count,
                     )
                     for other in active.values()
                     if other.request_id != entry.request_id
                 ]
-                victim_id = self.preemption.policy.select(candidates)
+                victim_id = self.preemption.policy.select(self.preemption.eligible(candidates))
                 if victim_id is None:
                     raise AllocationError(
                         f"request {entry.request_id} cannot grow its KV cache and "
@@ -453,6 +460,7 @@ class ServingEngine:
                         f"invalid victim {victim_id} for grower {entry.request_id}"
                     ) from None
                 victim = active.pop(victim_id)
+                victim.preempt_count += 1
                 state = allocator.preempt(victim_id)
                 overhead += self.preemption.cost.evict_seconds(state)
                 tracker.on_preempt(victim_id, clock)
@@ -488,6 +496,10 @@ class ServingEngine:
                 candidate.prompt_tokens,
                 candidate.decode_tokens,
                 candidate.arrival_s,
+                priority=candidate.priority,
+                tier=candidate.request.tier,
+                ttft_deadline_s=candidate.request.ttft_deadline_s,
+                tpot_deadline_s=candidate.request.tpot_deadline_s,
             )
 
         clock = 0.0

@@ -147,6 +147,10 @@ class FastServingEngine(ServingEngine):
                 candidate.prompt_tokens,
                 candidate.decode_tokens,
                 candidate.arrival_s,
+                priority=candidate.priority,
+                tier=candidate.request.tier,
+                ttft_deadline_s=candidate.request.ttft_deadline_s,
+                tpot_deadline_s=candidate.request.tpot_deadline_s,
             )
         records = tracker.records
 

@@ -41,6 +41,14 @@ class RequestRecord:
     recompute_tokens: int = 0
     #: Clock of the pending preemption (``nan`` while the request is live).
     preempted_s: float = math.nan
+    #: Scheduling priority inherited from the request (tier priority).
+    priority: int = 0
+    #: SLO-tier name the request belongs to (``None`` means untiered).
+    tier: str | None = None
+    #: TTFT deadline in seconds (``None`` means no deadline).
+    ttft_deadline_s: float | None = None
+    #: TPOT deadline in seconds (``None`` means no deadline).
+    tpot_deadline_s: float | None = None
 
     @property
     def finished(self) -> bool:
@@ -76,6 +84,33 @@ class RequestRecord:
     def latency_s(self) -> float:
         """End-to-end latency: arrival to completion."""
         return self.finish_s - self.arrival_s
+
+    @property
+    def ttft_ok(self) -> bool:
+        """Whether the first token met the TTFT deadline.
+
+        With no deadline the SLO is vacuously attained; with one, an
+        unserved request (no first token) counts as a miss.
+        """
+        if self.ttft_deadline_s is None:
+            return True
+        return self.ttft_s <= self.ttft_deadline_s  # nan comparisons are False
+
+    @property
+    def tpot_ok(self) -> bool:
+        """Whether steady-state decode met the TPOT deadline.
+
+        With no deadline the SLO is vacuously attained; with one, an
+        unfinished request counts as a miss.
+        """
+        if self.tpot_deadline_s is None:
+            return True
+        return self.finished and self.tpot_s <= self.tpot_deadline_s
+
+    @property
+    def slo_ok(self) -> bool:
+        """Goodput membership: finished within every configured deadline."""
+        return self.finished and self.ttft_ok and self.tpot_ok
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
@@ -166,13 +201,25 @@ class LifecycleTracker:
     records: dict[int, RequestRecord] = field(default_factory=dict)
 
     def on_arrival(
-        self, request_id: int, prompt_tokens: int, output_tokens: int, arrival_s: float
+        self,
+        request_id: int,
+        prompt_tokens: int,
+        output_tokens: int,
+        arrival_s: float,
+        priority: int = 0,
+        tier: str | None = None,
+        ttft_deadline_s: float | None = None,
+        tpot_deadline_s: float | None = None,
     ) -> RequestRecord:
         record = RequestRecord(
             request_id=request_id,
             prompt_tokens=prompt_tokens,
             output_tokens=output_tokens,
             arrival_s=arrival_s,
+            priority=priority,
+            tier=tier,
+            ttft_deadline_s=ttft_deadline_s,
+            tpot_deadline_s=tpot_deadline_s,
         )
         self.records[request_id] = record
         return record

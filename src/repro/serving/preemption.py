@@ -27,6 +27,17 @@ Policies self-register into the experiment API, so specs select them as
 * ``evict-youngest`` -- evict the most recently admitted request
   (vLLM-style: the least compute is wasted by rolling back the newest
   work).
+* ``evict-priority-lru`` / ``evict-priority-largest`` /
+  ``evict-priority-youngest`` -- tier-aware variants: victims are drawn
+  from the lowest :attr:`PreemptionCandidate.priority` present, with the
+  base discipline breaking ties inside that class.  Best-effort traffic
+  therefore absorbs capacity pressure before premium traffic is touched.
+
+Cross-tier fairness: :attr:`PreemptionConfig.starvation_limit` caps how
+often any one request may be victimised -- candidates already preempted
+that many times are withheld from the policy while other candidates
+remain, so a saturating premium flood cannot evict the same best-effort
+request forever.
 """
 
 from __future__ import annotations
@@ -48,12 +59,18 @@ class PreemptionCandidate:
         context_tokens: Live context (KV tokens the eviction would free).
         admitted_s: Clock time of the most recent admission or restore.
         last_decode_s: Clock time of the most recent decode progress.
+        priority: Scheduling priority (larger is more urgent); consulted
+            by the ``evict-priority-*`` policies.
+        preemptions: Times this request has already been evicted; consulted
+            by the engine's anti-starvation guard.
     """
 
     request_id: int
     context_tokens: int
     admitted_s: float
     last_decode_s: float
+    priority: int = 0
+    preemptions: int = 0
 
 
 @runtime_checkable
@@ -127,11 +144,65 @@ class EvictYoungest:
         return victim.request_id
 
 
+class EvictPriorityLRU:
+    """Evict the least-recently-active request of the lowest priority class.
+
+    Victim order is lexicographic: lowest :attr:`PreemptionCandidate.priority`
+    first, then least recent decode progress (the :class:`EvictLRU`
+    discipline) inside that class -- so premium requests are only touched
+    once no lower-priority candidate remains.
+    """
+
+    name = "evict-priority-lru"
+
+    def select(self, candidates: Sequence[PreemptionCandidate]) -> int | None:
+        if not candidates:
+            return None
+        victim = min(
+            candidates,
+            key=lambda c: (c.priority, c.last_decode_s, c.admitted_s, c.request_id),
+        )
+        return victim.request_id
+
+
+class EvictPriorityLargest:
+    """Evict the largest-context request of the lowest priority class."""
+
+    name = "evict-priority-largest"
+
+    def select(self, candidates: Sequence[PreemptionCandidate]) -> int | None:
+        if not candidates:
+            return None
+        victim = min(
+            candidates,
+            key=lambda c: (c.priority, -c.context_tokens, c.admitted_s, c.request_id),
+        )
+        return victim.request_id
+
+
+class EvictPriorityYoungest:
+    """Evict the most recently admitted request of the lowest priority class."""
+
+    name = "evict-priority-youngest"
+
+    def select(self, candidates: Sequence[PreemptionCandidate]) -> int | None:
+        if not candidates:
+            return None
+        victim = min(
+            candidates,
+            key=lambda c: (c.priority, -c.admitted_s, -c.request_id),
+        )
+        return victim.request_id
+
+
 # Self-registration: preemption policies plug into ExperimentSpec by name.
 register_preemption_policy("none", NoPreemption)
 register_preemption_policy("evict-lru", EvictLRU)
 register_preemption_policy("evict-largest", EvictLargest)
 register_preemption_policy("evict-youngest", EvictYoungest)
+register_preemption_policy("evict-priority-lru", EvictPriorityLRU)
+register_preemption_policy("evict-priority-largest", EvictPriorityLargest)
+register_preemption_policy("evict-priority-youngest", EvictPriorityYoungest)
 
 
 @dataclass(frozen=True)
@@ -206,15 +277,41 @@ class PreemptionConfig:
     instead of the final context, requests grow chunk by chunk, and
     capacity pressure is resolved by evicting victims instead of refusing
     admissions.
+
+    ``starvation_limit`` is the cross-tier anti-starvation knob: before
+    the policy sees the candidate list, the engine withholds requests
+    already preempted ``starvation_limit`` or more times -- unless every
+    candidate is over the limit, in which case the full list is offered so
+    a grow never fails purely because of the guard.  ``None`` disables the
+    guard (bit-compatible with pre-tier victim selection).
     """
 
     policy: PreemptionPolicy
     cost: PreemptionCostModel = PreemptionCostModel()
+    starvation_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.starvation_limit is not None and (
+            not isinstance(self.starvation_limit, int)
+            or isinstance(self.starvation_limit, bool)
+            or self.starvation_limit <= 0
+        ):
+            raise ValueError(
+                f"starvation_limit must be a positive integer or None, "
+                f"got {self.starvation_limit!r}"
+            )
 
     @property
     def active(self) -> bool:
         """Whether this config actually preempts (policy is not "none")."""
         return self.policy.name != NoPreemption.name
+
+    def eligible(self, candidates: Sequence[PreemptionCandidate]) -> Sequence[PreemptionCandidate]:
+        """Apply the anti-starvation guard to a candidate list."""
+        if self.starvation_limit is None:
+            return candidates
+        fresh = [c for c in candidates if c.preemptions < self.starvation_limit]
+        return fresh if fresh else candidates
 
 
 __all__ = [
@@ -225,6 +322,9 @@ __all__ = [
     "EvictLRU",
     "EvictLargest",
     "EvictYoungest",
+    "EvictPriorityLRU",
+    "EvictPriorityLargest",
+    "EvictPriorityYoungest",
     "PreemptionCostModel",
     "PreemptionConfig",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -13,7 +14,7 @@ from repro.api.registry import register_trace
 from repro.workloads.datasets import DatasetStats, get_dataset
 
 if TYPE_CHECKING:
-    from repro.api.spec import TraceSpec
+    from repro.api.spec import TierSpec, TraceSpec
 
 
 @dataclass(frozen=True)
@@ -27,12 +28,19 @@ class Request:
         arrival_s: Wall-clock arrival time in seconds.  Traces generated
             without an arrival process have every request arrive at time 0,
             which reproduces the legacy closed-loop serving behaviour.
-        priority: Scheduling priority (larger is more urgent); only
-            consulted by priority-aware admission policies.
+        priority: Scheduling priority (larger is more urgent); consulted
+            by priority-aware admission policies and by the
+            ``evict-priority-*`` preemption policies when picking victims.
         session: Optional conversation/session id; requests sharing a
             session id are kept on the same replica by session-affinity
             routing (their KV prefix lives there).  ``None`` means the
             request belongs to no session.
+        tier: Name of the SLO tier the request belongs to (see
+            :func:`assign_tiers`); ``None`` means untiered.
+        ttft_deadline_s: Time-to-first-token SLO deadline inherited from
+            the tier (``None`` means no deadline).
+        tpot_deadline_s: Per-output-token SLO deadline inherited from the
+            tier (``None`` means no deadline).
     """
 
     request_id: int
@@ -41,6 +49,9 @@ class Request:
     arrival_s: float = 0.0
     priority: int = 0
     session: int | None = None
+    tier: str | None = None
+    ttft_deadline_s: float | None = None
+    tpot_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0 or self.output_tokens <= 0:
@@ -62,6 +73,9 @@ def _fast_request(
     arrival_s: float = 0.0,
     priority: int = 0,
     session: int | None = None,
+    tier: str | None = None,
+    ttft_deadline_s: float | None = None,
+    tpot_deadline_s: float | None = None,
 ) -> Request:
     """Construct a :class:`Request` without re-running ``__post_init__``.
 
@@ -84,6 +98,9 @@ def _fast_request(
             "arrival_s": arrival_s,
             "priority": priority,
             "session": session,
+            "tier": tier,
+            "ttft_deadline_s": ttft_deadline_s,
+            "tpot_deadline_s": tpot_deadline_s,
         },
     )
     return request
@@ -274,19 +291,90 @@ def random_sessions(trace: RequestTrace, num_sessions: int, seed: int = 0) -> Re
     return assign_sessions(trace, ids.tolist())
 
 
-def periodic_priorities(trace: RequestTrace, every: int, priority: int) -> RequestTrace:
-    """Mark every ``every``-th request (0, every, 2*every, ...) with ``priority``.
+def assign_tiers(trace: RequestTrace, tiers: Sequence["TierSpec"]) -> RequestTrace:
+    """Tag requests with SLO-tier metadata (name, priority, deadlines).
 
-    A deterministic way to give priority-aware admission policies something
-    to act on in generated traces (which default every request to 0).
+    Matching is deterministic -- no randomness is involved, so identical
+    traces and tier lists always produce identical taggings:
+
+    * Tiers with a ``sessions`` predicate claim every request whose
+      session id they list.
+    * Tiers with a ``share`` then split the *remaining* requests in trace
+      order by greedy quota: request ``i`` (counting unclaimed requests)
+      joins the first share tier whose tagged count is still below
+      ``share * (i + 1)``.  A share of ``1/N`` therefore tags exactly
+      every ``N``-th request (0, N, 2N, ...), reproducing the deprecated
+      :func:`periodic_priorities` pattern.
+    * At most one catch-all tier (neither predicate) takes the leftovers;
+      with no catch-all, leftover requests stay untiered.
+
+    Args:
+        trace: Trace whose requests receive tier metadata.
+        tiers: Tier declarations (:class:`~repro.api.spec.TierSpec`), in
+            matching order.
+
+    Returns:
+        A new :class:`RequestTrace` with matched requests carrying their
+        tier's name, priority and TTFT/TPOT deadlines.
     """
+    session_tiers: dict[int, "TierSpec"] = {}
+    for tier in tiers:
+        for session in tier.sessions or ():
+            session_tiers.setdefault(session, tier)
+    share_tiers = [tier for tier in tiers if tier.share is not None]
+    catch_all = next((tier for tier in tiers if tier.is_catch_all), None)
+    counts = [0] * len(share_tiers)
+    position = 0  # rank among requests not claimed by a session predicate
+    requests = []
+    for request in trace.requests:
+        tier = None
+        if request.session is not None and request.session in session_tiers:
+            tier = session_tiers[request.session]
+        else:
+            for slot, candidate in enumerate(share_tiers):
+                if counts[slot] < candidate.share * (position + 1):
+                    tier = candidate
+                    counts[slot] += 1
+                    break
+            else:
+                tier = catch_all
+            position += 1
+        if tier is None:
+            requests.append(request)
+        else:
+            requests.append(
+                _with_fields(
+                    request,
+                    priority=tier.priority,
+                    tier=tier.name,
+                    ttft_deadline_s=tier.ttft_deadline_s,
+                    tpot_deadline_s=tier.tpot_deadline_s,
+                )
+            )
+    return RequestTrace(dataset=trace.dataset, requests=tuple(requests))
+
+
+def periodic_priorities(trace: RequestTrace, every: int, priority: int) -> RequestTrace:
+    """Deprecated: mark every ``every``-th request with ``priority``.
+
+    Thin wrapper kept for backwards compatibility; it delegates to
+    :func:`assign_tiers` with a single ``share=1/every`` tier, which tags
+    exactly the same requests (0, every, 2*every, ...) with the same
+    priority.  Declare :class:`~repro.api.spec.TierSpec` entries on the
+    experiment spec instead.
+    """
+    warnings.warn(
+        "periodic_priorities is deprecated; declare SLO tiers instead "
+        "(ExperimentSpec.tiers, or assign_tiers with a share=1/every TierSpec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if every <= 0:
         raise ValueError("every must be positive")
-    requests = tuple(
-        _with_fields(request, priority=priority) if index % every == 0 else request
-        for index, request in enumerate(trace.requests)
-    )
-    return RequestTrace(dataset=trace.dataset, requests=requests)
+    from repro.api.spec import TierSpec
+
+    tier = TierSpec(name=f"priority-{priority}", priority=priority, share=1.0 / every)
+    return assign_tiers(trace, (tier,))
 
 
 def multi_turn_trace(

@@ -5,8 +5,9 @@ steps between event points in one vectorised jump, so every metric of its
 :class:`~repro.api.report.RunReport` must match the scalar
 :class:`~repro.serving.engine.ServingEngine` to 1e-9 -- on every shipped
 example spec (lifecycle preemption and prefix-cache runs included) and on a
-seeded sweep of randomized configurations crossing admission x preemption x
-prefill x prefix-cache x allocator x stride x router.
+seeded sweep of randomized configurations crossing admission x preemption
+(priority-aware policies and the starvation guard included) x prefill x
+prefix-cache x allocator x stride x router x SLO tiers.
 """
 
 from __future__ import annotations
@@ -115,7 +116,18 @@ def _random_spec_dict(rng: random.Random) -> dict:
     if source != "multi-turn" and rng.random() < 0.3:
         trace["num_sessions"] = 2
     admission = rng.choice(["fcfs", "capacity-aware", "priority"])
-    if admission == "priority":
+    tiers: list[dict] | None = None
+    if rng.random() < 0.5:
+        premium: dict = {"name": "premium", "priority": 5, "share": rng.choice([0.25, 0.5])}
+        if rng.random() < 0.5:
+            premium["ttft_deadline_s"] = 0.5
+            premium["tpot_deadline_s"] = rng.choice([0.01, 0.25])
+        tiers = [premium]
+        if source == "multi-turn" and rng.random() < 0.5:
+            tiers.append({"name": "vip", "priority": 9, "sessions": [0]})
+        if rng.random() < 0.7:
+            tiers.append({"name": "best-effort"})
+    elif admission == "priority":
         trace["priority_every"] = 2
 
     data: dict = {
@@ -131,11 +143,24 @@ def _random_spec_dict(rng: random.Random) -> dict:
         "seed": rng.randrange(1000),
         "step_stride": rng.choice([1, 4, 16]),
     }
+    if tiers is not None:
+        data["tiers"] = tiers
     if rng.random() < 0.5:
         data["preemption"] = {
-            "policy": rng.choice(["evict-lru", "evict-largest", "evict-youngest"]),
+            "policy": rng.choice(
+                [
+                    "evict-lru",
+                    "evict-largest",
+                    "evict-youngest",
+                    "evict-priority-lru",
+                    "evict-priority-largest",
+                    "evict-priority-youngest",
+                ]
+            ),
             "mode": rng.choice(["swap", "recompute"]),
         }
+        if rng.random() < 0.5:
+            data["preemption"]["starvation_limit"] = rng.choice([1, 3])
     prefill = rng.choice(["none", "blocking", "chunked"])
     if prefill != "none":
         data["prefill"] = {"mode": prefill, "chunk_tokens": rng.choice([256, 512])}
@@ -152,7 +177,7 @@ def _random_spec_dict(rng: random.Random) -> dict:
     return data
 
 
-@pytest.mark.parametrize("case_seed", range(15))
+@pytest.mark.parametrize("case_seed", range(20))
 def test_randomized_config_parity(case_seed):
     """Full RunReport parity on a seeded random spec; errors must match too."""
     rng = random.Random(20260 + case_seed)
