@@ -35,7 +35,8 @@ def _load(path: Path) -> dict:
     try:
         return json.loads(path.read_text())["scenarios"]
     except FileNotFoundError:
-        raise SystemExit(
+        raise SystemExit(  # noqa: B904 - the message, not the traceback, is the UX
+
             f"error: {path} not found -- run "
             "`pytest benchmarks/test_bench_fast_engine.py -m \"not slow\"` first"
         )

@@ -112,7 +112,7 @@ def test_bench_capacity_aware_beats_round_robin_under_skew(benchmark):
 
     def heavy_histogram(assignments):
         counts = [0, 0, 0, 0]
-        for request, assignment in zip(trace.requests, assignments):
+        for request, assignment in zip(trace.requests, assignments, strict=True):
             if assignment is not None and request.prompt_tokens > 1000:
                 counts[assignment] += 1
         return counts

@@ -99,7 +99,7 @@ def serving_summary_table(results: Sequence["EngineResult"], title: str = "") ->
     return format_table(headers, rows, title=title)
 
 
-def fleet_summary_table(fleet: "FleetResult", title: str = "") -> str:
+def fleet_summary_table(fleet: FleetResult, title: str = "") -> str:
     """Render per-replica rows plus the merged fleet row of a routed run.
 
     Replica rows report each engine's own counters; the fleet row reports

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
 
 import numpy as np
 
@@ -68,7 +69,10 @@ def derived_seeds(seed: int) -> tuple[int, int, int]:
     session assignments.
     """
     children = np.random.SeedSequence(seed).spawn(3)
-    return tuple(int(child.generate_state(1)[0]) for child in children)
+    trace_seed, arrival_seed, session_seed = (
+        int(child.generate_state(1)[0]) for child in children
+    )
+    return (trace_seed, arrival_seed, session_seed)
 
 
 def build_model(spec: ExperimentSpec) -> LLMConfig:

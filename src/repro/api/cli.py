@@ -25,7 +25,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.analysis.reporting import format_table
 from repro.api.registry import (

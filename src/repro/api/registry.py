@@ -32,7 +32,11 @@ Registered factory signatures:
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import Any
+
+#: Factory signatures vary per registry kind (see module docstring).
+Factory = Callable[..., Any]
 
 
 class Registry:
@@ -40,9 +44,11 @@ class Registry:
 
     def __init__(self, kind: str) -> None:
         self.kind = kind
-        self._entries: dict[str, Callable] = {}
+        self._entries: dict[str, Factory] = {}
 
-    def register(self, name: str, factory: Callable | None = None, *, overwrite: bool = False):
+    def register(
+        self, name: str, factory: Factory | None = None, *, overwrite: bool = False
+    ) -> Factory | Callable[[Factory], Factory]:
         """Register ``factory`` under ``name``; usable as a decorator.
 
         Args:
@@ -54,7 +60,7 @@ class Registry:
         if not isinstance(name, str) or not name:
             raise ValueError(f"{self.kind} registry keys must be non-empty strings")
 
-        def _add(value: Callable) -> Callable:
+        def _add(value: Factory) -> Factory:
             if not callable(value):
                 raise TypeError(f"{self.kind} {name!r} must be registered with a callable")
             if name in self._entries and not overwrite:
@@ -69,7 +75,7 @@ class Registry:
             return _add
         return _add(factory)
 
-    def get(self, name: str) -> Callable:
+    def get(self, name: str) -> Factory:
         """Look up a factory; unknown keys list what *is* registered."""
         try:
             return self._entries[name]

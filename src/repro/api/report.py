@@ -77,7 +77,7 @@ class TierReport:
         return self.tpot_attained / self.num_requests if self.num_requests else 0.0
 
     @staticmethod
-    def from_records(name: str, priority: int, records: "Sequence[RequestRecord]") -> "TierReport":
+    def from_records(name: str, priority: int, records: Sequence[RequestRecord]) -> TierReport:
         return TierReport(
             name=name,
             priority=priority,
@@ -92,7 +92,7 @@ class TierReport:
 
 
 def _tier_reports(
-    spec: "ExperimentSpec", records: "Sequence[RequestRecord]"
+    spec: ExperimentSpec, records: Sequence[RequestRecord]
 ) -> tuple[TierReport, ...]:
     """Slice a run's request records into the spec's tiers, in spec order.
 
@@ -165,7 +165,7 @@ class RunReport:
             untiered specs.
     """
 
-    spec: "ExperimentSpec"
+    spec: ExperimentSpec
     spec_hash: str
     seed: int
     num_replicas: int
@@ -282,7 +282,7 @@ class RunReport:
     # -- adapters -----------------------------------------------------------
 
     @staticmethod
-    def from_engine(spec: "ExperimentSpec", result: EngineResult) -> "RunReport":
+    def from_engine(spec: ExperimentSpec, result: EngineResult) -> RunReport:
         """Wrap a single-engine run; metrics are the engine's, verbatim."""
         return RunReport(
             spec=spec,
@@ -321,7 +321,7 @@ class RunReport:
         )
 
     @staticmethod
-    def from_fleet(spec: "ExperimentSpec", fleet: FleetResult) -> "RunReport":
+    def from_fleet(spec: ExperimentSpec, fleet: FleetResult) -> RunReport:
         """Wrap a routed fleet run; metrics are the fleet merge, verbatim."""
         replicas = fleet.replica_results
         total_steps = sum(result.steps for result in replicas)

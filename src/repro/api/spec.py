@@ -20,8 +20,9 @@ import dataclasses
 import hashlib
 import json
 import math
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, TypeVar
 
 from repro.api.registry import (
     ADMISSION_POLICIES,
@@ -30,8 +31,11 @@ from repro.api.registry import (
     ROUTING_POLICIES,
     SYSTEMS,
     TRACES,
+    Registry,
 )
 from repro.memory.lifecycle import PREEMPTION_COST_MODES
+
+_SubSpecT = TypeVar("_SubSpecT")
 
 #: PIMphony feature presets accepted by :attr:`SystemSpec.pimphony`
 #: (resolved to :class:`~repro.core.orchestrator.PIMphonyConfig` factories
@@ -103,7 +107,7 @@ def _check_non_negative_float(value: object, where: str) -> None:
     )
 
 
-def _from_mapping(cls, data: Mapping[str, Any], where: str):
+def _from_mapping(cls: type[_SubSpecT], data: Mapping[str, Any], where: str) -> _SubSpecT:
     """Build a sub-spec dataclass from a mapping, rejecting unknown keys."""
     if not isinstance(data, Mapping):
         raise ValueError(f"{where} must be a mapping, got {type(data).__name__}")
@@ -714,7 +718,7 @@ class ExperimentSpec:
 
     # -- registry-key validation -------------------------------------------
 
-    def validate(self) -> "ExperimentSpec":
+    def validate(self) -> ExperimentSpec:
         """Resolve every registry key, failing fast with the field path.
 
         Returns ``self`` so it chains: ``run(spec.validate())``.
@@ -725,7 +729,7 @@ class ExperimentSpec:
         from repro.models.llm import list_models
         from repro.workloads.datasets import list_datasets
 
-        def _check_key(registry, key: str, where: str) -> None:
+        def _check_key(registry: Registry, key: str, where: str) -> None:
             if key not in registry:
                 known = ", ".join(registry.names()) or "<none>"
                 raise ValueError(
@@ -781,7 +785,7 @@ class ExperimentSpec:
         return data
 
     @staticmethod
-    def from_dict(data: Mapping[str, Any]) -> "ExperimentSpec":
+    def from_dict(data: Mapping[str, Any]) -> ExperimentSpec:
         """Build a spec from nested mappings (e.g. parsed JSON).
 
         Missing sub-specs take their defaults; unknown keys raise with the
@@ -825,7 +829,7 @@ class ExperimentSpec:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @staticmethod
-    def from_json(text: str) -> "ExperimentSpec":
+    def from_json(text: str) -> ExperimentSpec:
         """Parse a spec from its JSON encoding."""
         return ExperimentSpec.from_dict(json.loads(text))
 
@@ -835,7 +839,7 @@ class ExperimentSpec:
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:12]
 
-    def with_overrides(self, overrides: Mapping[str, Any]) -> "ExperimentSpec":
+    def with_overrides(self, overrides: Mapping[str, Any]) -> ExperimentSpec:
         """Return a copy with dotted-path overrides applied.
 
         ``spec.with_overrides({"system.pimphony": "baseline",

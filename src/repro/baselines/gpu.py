@@ -17,9 +17,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.registry import register_system
+from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig
 from repro.serving.interfaces import StepResult
 from repro.system.interconnect import InterconnectConfig
+from repro.system.parallelism import ParallelismPlan
 
 
 @dataclass(frozen=True)
@@ -103,13 +105,13 @@ class GPUSystemModel:
             return StepResult(seconds=0.0, pim_utilization=0.0)
         batch = len(contexts)
         model = self.model
-        bandwidth = self.gpu.memory_bandwidth_bytes
+        bandwidth_bytes_per_s = self.gpu.memory_bandwidth_bytes
 
         # FC layers: weights are sharded across GPUs and streamed once per
         # step; compute is batched across requests.
         weight_bytes_per_gpu = model.param_bytes / self.num_gpus
         weight_seconds = weight_bytes_per_gpu / (
-            bandwidth * self.gpu.weight_stream_efficiency
+            bandwidth_bytes_per_s * self.gpu.weight_stream_efficiency
         )
         fc_flops_per_gpu = 2.0 * batch * model.param_count / self.num_gpus
         compute_seconds = fc_flops_per_gpu / (
@@ -122,7 +124,7 @@ class GPUSystemModel:
             self.gpu.attention_stream_efficiency if self.flash_decoding else 0.45
         )
         kv_bytes = sum(contexts) * model.kv_bytes_per_token / self.num_gpus
-        attention_seconds = kv_bytes / (bandwidth * attention_efficiency)
+        attention_seconds = kv_bytes / (bandwidth_bytes_per_s * attention_efficiency)
 
         # TP synchronisation: two all-reduces per layer over the hidden dim.
         sync_bytes = batch * model.d_model * model.dtype_bytes
@@ -154,11 +156,11 @@ class GPUSystemModel:
         contexts = list(context_lengths)
         batch = len(contexts)
         model = self.model
-        bandwidth = self.gpu.memory_bandwidth_bytes
+        bandwidth_bytes_per_s = self.gpu.memory_bandwidth_bytes
 
         weight_bytes_per_gpu = model.param_bytes / self.num_gpus
         weight_seconds = weight_bytes_per_gpu / (
-            bandwidth * self.gpu.weight_stream_efficiency
+            bandwidth_bytes_per_s * self.gpu.weight_stream_efficiency
         )
         fc_flops_per_gpu = 2.0 * batch * model.param_count / self.num_gpus
         compute_seconds = fc_flops_per_gpu / (
@@ -171,7 +173,7 @@ class GPUSystemModel:
         )
         sums = sum(contexts) + np.arange(count, dtype=np.int64) * (stride * batch)
         kv_bytes = sums * model.kv_bytes_per_token / self.num_gpus
-        attention_seconds = kv_bytes / (bandwidth * attention_efficiency)
+        attention_seconds = kv_bytes / (bandwidth_bytes_per_s * attention_efficiency)
 
         sync_bytes = batch * model.d_model * model.dtype_bytes
         sync_seconds = (
@@ -181,7 +183,12 @@ class GPUSystemModel:
         return (fc_seconds + attention_seconds) + sync_seconds
 
 
-def _build_gpu(model, num_modules, plan, pimphony) -> GPUSystemModel:
+def _build_gpu(
+    model: LLMConfig,
+    num_modules: int | None,
+    plan: ParallelismPlan | None,
+    pimphony: PIMphonyConfig,
+) -> GPUSystemModel:
     """Experiment-API builder: A100 group, memory-matched GPU counts.
 
     ``num_modules`` maps to the GPU count (2 for 7B, 8 for 72B by default);

@@ -22,7 +22,7 @@ class PingPongScheduler(TableDrivenScheduler):
 
     def __init__(self, timing: PIMTiming, channel: PIMChannelConfig | None = None) -> None:
         resolved_channel = channel if channel is not None else PIMChannelConfig()
-        handoff = timing.mac_latency
+        handoff = timing.mac_latency_cycles
         super().__init__(
             timing,
             resolved_channel,

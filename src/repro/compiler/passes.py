@@ -160,7 +160,7 @@ class PassManager:
 
     passes: list[CompilerPass] = field(default_factory=list)
 
-    def add(self, compiler_pass: CompilerPass) -> "PassManager":
+    def add(self, compiler_pass: CompilerPass) -> PassManager:
         self.passes.append(compiler_pass)
         return self
 

@@ -57,20 +57,20 @@ class PIMphonyConfig:
         return "+".join(parts)
 
     @staticmethod
-    def baseline() -> "PIMphonyConfig":
+    def baseline() -> PIMphonyConfig:
         """Conventional PIM system: HFP, static scheduling, static memory."""
         return PIMphonyConfig(tcp=False, dcs=False, dpa=False, name="baseline")
 
     @staticmethod
-    def tcp_only() -> "PIMphonyConfig":
+    def tcp_only() -> PIMphonyConfig:
         return PIMphonyConfig(tcp=True, dcs=False, dpa=False)
 
     @staticmethod
-    def tcp_dcs() -> "PIMphonyConfig":
+    def tcp_dcs() -> PIMphonyConfig:
         return PIMphonyConfig(tcp=True, dcs=True, dpa=False)
 
     @staticmethod
-    def full() -> "PIMphonyConfig":
+    def full() -> PIMphonyConfig:
         """All three techniques enabled (the complete PIMphony system)."""
         return PIMphonyConfig(tcp=True, dcs=True, dpa=True)
 

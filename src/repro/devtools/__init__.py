@@ -1,0 +1,9 @@
+"""Developer tooling that ships with the simulator.
+
+:mod:`repro.devtools.lint` is ``repro-lint``, the AST-based invariant
+checker that turns the repo's reproduction guarantees (determinism,
+unit-suffix discipline, spec round-trip completeness, clock discipline)
+into machine-checked contracts.  Nothing under this package is imported
+by the simulator itself; it exists so correctness tooling lives next to
+the code it polices and evolves in the same PRs.
+"""

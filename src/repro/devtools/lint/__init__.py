@@ -1,0 +1,44 @@
+"""``repro-lint``: AST-based invariant checker for reproduction contracts.
+
+Run it as ``repro-lint`` (console script) or
+``python -m repro.devtools.lint``.  The rules:
+
+========  =================  ====================================================
+Code      Name               Contract
+========  =================  ====================================================
+RPR001    determinism        no wall-clock reads / global-state randomness
+RPR002    float-equality     no ``==``/``!=`` between float-valued expressions
+RPR003    unit-suffixes      quantity names carry ``_s``/``_tokens``/``_rps``/...
+RPR004    spec-round-trip    every ``*Spec`` field survives to_dict/from_dict;
+                             example specs resolve their registry keys
+RPR005    clock-discipline   clock state written only in run/reset/advance*
+========  =================  ====================================================
+
+Suppress a finding with ``# repro-lint: disable=RPR001`` on its line (add
+a reason after the codes), or file-wide with
+``# repro-lint: disable-file=RPR001``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.core import (
+    Finding,
+    LintModule,
+    LintProject,
+    Rule,
+    format_json,
+    format_text,
+    run_lint,
+)
+from repro.devtools.lint.rules import all_rules
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "LintProject",
+    "Rule",
+    "all_rules",
+    "format_json",
+    "format_text",
+    "run_lint",
+]

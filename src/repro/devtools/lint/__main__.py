@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.devtools.lint``."""
+
+from __future__ import annotations
+
+from repro.devtools.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""``repro-lint`` / ``python -m repro.devtools.lint`` command line.
+
+Exit codes: ``0`` no findings, ``1`` findings reported, ``2`` usage
+error (bad paths, unknown rule codes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.devtools.lint.core import format_json, format_text, run_lint
+from repro.devtools.lint.rules import all_rules
+
+
+def _default_paths() -> list[Path]:
+    """``src/repro`` relative to the checkout when run bare."""
+    for candidate in (Path("src/repro"), Path(__file__).resolve().parents[2]):
+        if candidate.is_dir():
+            return [candidate]
+    return [Path.cwd()]
+
+
+def _parse_codes(raw: Sequence[str] | None, known: set[str], flag: str) -> set[str] | None:
+    if raw is None:
+        return None
+    codes: set[str] = set()
+    for chunk in raw:
+        codes.update(code.strip() for code in chunk.split(",") if code.strip())
+    unknown = sorted(codes - known)
+    if unknown:
+        print(
+            f"{flag}: unknown rule code(s) {', '.join(unknown)}; "
+            f"known codes: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the simulator's determinism, "
+            "unit-suffix, spec round-trip and clock-discipline contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="run only these comma-separated rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="skip these comma-separated rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = all_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+
+    known = {rule.code for rule in rules}
+    select = _parse_codes(args.select, known, "--select")
+    ignore = _parse_codes(args.ignore, known, "--ignore")
+
+    paths = list(args.paths) or _default_paths()
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings = run_lint(paths, rules, select=select, ignore=ignore)
+    if args.format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

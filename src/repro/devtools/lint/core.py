@@ -1,0 +1,325 @@
+"""Core machinery of ``repro-lint``: findings, suppressions, the rule
+protocol and the lint driver.
+
+The linter is plugin-style: every rule is a :class:`Rule` subclass with a
+stable ``RPRxxx`` code, registered in :mod:`repro.devtools.lint.rules`.
+Rules come in two flavours:
+
+* **module rules** visit one parsed file at a time (``check_module``);
+* **project rules** see the whole collected tree at once
+  (``check_project``) for cross-module invariants such as the RPR004
+  spec round-trip contract.
+
+Findings can be silenced per line with ``# repro-lint: disable=RPR001``
+(several codes comma-separated, ``all`` for every rule) or for a whole
+file with ``# repro-lint: disable-file=RPR001``.  A suppression comment
+should carry a reason after the codes, e.g.::
+
+    delta = a_s == b_s  # repro-lint: disable=RPR002 -- parity pin wants exact bits
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Code used for linter-internal problems (unreadable file, syntax error,
+#: malformed suppression comment).  Not suppressible.
+INTERNAL_CODE = "RPR000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9, ]+)"
+)
+
+_CODE_RE = re.compile(r"^(?:RPR\d{3}|all)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a file location."""
+
+    code: str
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed from ``# repro-lint:`` comments."""
+
+    #: Codes disabled for the whole file ("all" disables every rule).
+    file_codes: set[str] = field(default_factory=set)
+    #: Line number -> codes disabled on that line.
+    line_codes: dict[int, set[str]] = field(default_factory=dict)
+    #: (line, comment) pairs whose code list failed to parse.
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, text: str) -> Suppressions:
+        state = cls()
+        # Tokenize so only real comments count: a docstring or string
+        # literal that *mentions* repro-lint must never suppress (or be
+        # reported as a malformed suppression).
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return state
+        for token in tokens:
+            if token.type != tokenize.COMMENT or "repro-lint:" not in token.string:
+                continue
+            lineno = token.start[0]
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                state.malformed.append((lineno, token.string.strip()))
+                continue
+            codes = {code.strip() for code in match.group("codes").split(",")}
+            codes.discard("")
+            if not codes or not all(_CODE_RE.match(code) for code in codes):
+                state.malformed.append((lineno, token.string.strip()))
+                continue
+            if match.group("scope") == "disable-file":
+                state.file_codes |= codes
+            else:
+                state.line_codes.setdefault(lineno, set()).update(codes)
+        return state
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code == INTERNAL_CODE:
+            return False
+        if "all" in self.file_codes or code in self.file_codes:
+            return True
+        at_line = self.line_codes.get(line, set())
+        return "all" in at_line or code in at_line
+
+
+@dataclass
+class LintModule:
+    """One parsed source file presented to module rules."""
+
+    path: Path
+    display_path: str
+    text: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    def finding(
+        self, rule: Rule, node: ast.AST | None, message: str, line: int | None = None
+    ) -> Finding:
+        lineno = line if line is not None else getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1 if node is not None else 1
+        return Finding(
+            code=rule.code,
+            rule=rule.name,
+            path=self.display_path,
+            line=lineno,
+            column=column,
+            message=message,
+        )
+
+
+@dataclass
+class LintProject:
+    """The whole collected tree, presented to project rules."""
+
+    root: Path
+    modules: list[LintModule]
+
+    def find_module(self, suffix: str) -> LintModule | None:
+        """Return the collected module whose path ends with ``suffix``."""
+        for module in self.modules:
+            if module.path.as_posix().endswith(suffix):
+                return module
+        return None
+
+    def display(self, path: Path) -> str:
+        """Repo-relative rendering of ``path`` when possible."""
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+class Rule:
+    """Base class for lint rules; subclasses set ``code``/``name``."""
+
+    code: str = INTERNAL_CODE
+    name: str = "internal"
+    description: str = ""
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: LintProject) -> Iterator[Finding]:
+        return iter(())
+
+
+def repo_root_for(path: Path) -> Path:
+    """Walk upward from ``path`` to the checkout root (pyproject.toml)."""
+    probe = path.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return probe
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(candidate)
+    return ordered
+
+
+def load_project(paths: Sequence[Path], root: Path | None = None) -> tuple[LintProject, list[Finding]]:
+    """Parse every file under ``paths`` into a :class:`LintProject`.
+
+    Returns the project plus the internal findings (unreadable or
+    syntactically invalid files, malformed suppression comments) that are
+    reported regardless of rule selection.
+    """
+    files = collect_files(paths)
+    project_root = root if root is not None else repo_root_for(files[0] if files else Path.cwd())
+    project = LintProject(root=project_root, modules=[])
+    internal: list[Finding] = []
+
+    def _internal(display: str, line: int, message: str) -> Finding:
+        return Finding(
+            code=INTERNAL_CODE,
+            rule="internal",
+            path=display,
+            line=line,
+            column=1,
+            message=message,
+        )
+
+    for path in files:
+        display = project.display(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            internal.append(_internal(display, 1, f"cannot read file: {error}"))
+            continue
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as error:
+            internal.append(_internal(display, error.lineno or 1, f"syntax error: {error.msg}"))
+            continue
+        suppressions = Suppressions.from_source(text)
+        for lineno, comment in suppressions.malformed:
+            internal.append(
+                _internal(
+                    display,
+                    lineno,
+                    "malformed repro-lint suppression (expected "
+                    f"'# repro-lint: disable=RPRxxx[,RPRyyy]'): {comment!r}",
+                )
+            )
+        project.modules.append(
+            LintModule(
+                path=path,
+                display_path=display,
+                text=text,
+                tree=tree,
+                suppressions=suppressions,
+            )
+        )
+    return project, internal
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over ``paths`` and return unsuppressed findings, sorted."""
+    selected = set(select) if select is not None else None
+    ignored = set(ignore) if ignore is not None else set()
+    active = [
+        rule
+        for rule in rules
+        if (selected is None or rule.code in selected) and rule.code not in ignored
+    ]
+    project, findings = load_project(paths, root=root)
+    suppression_index = {module.display_path: module.suppressions for module in project.modules}
+    for module in project.modules:
+        for rule in active:
+            findings.extend(rule.check_module(module))
+    for rule in active:
+        findings.extend(rule.check_project(project))
+    kept = [
+        finding
+        for finding in findings
+        if not (
+            finding.path in suppression_index
+            and suppression_index[finding.path].is_suppressed(finding.code, finding.line)
+        )
+    ]
+    kept.sort(key=lambda finding: (finding.path, finding.line, finding.column, finding.code))
+    return kept
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"repro-lint: {len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "version": 1,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+__all__ = [
+    "INTERNAL_CODE",
+    "Finding",
+    "LintModule",
+    "LintProject",
+    "Rule",
+    "Suppressions",
+    "collect_files",
+    "format_json",
+    "format_text",
+    "load_project",
+    "repo_root_for",
+    "run_lint",
+]

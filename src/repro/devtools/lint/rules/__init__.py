@@ -1,0 +1,36 @@
+"""Rule registry for ``repro-lint``.
+
+Adding a rule is one class plus one entry in :data:`ALL_RULES`; the CLI,
+``--select``/``--ignore`` filtering and ``--list-rules`` all read from
+here.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.core import Rule
+from repro.devtools.lint.rules.clock import ClockDisciplineRule
+from repro.devtools.lint.rules.determinism import DeterminismRule
+from repro.devtools.lint.rules.float_equality import FloatEqualityRule
+from repro.devtools.lint.rules.spec_roundtrip import SpecRoundTripRule
+from repro.devtools.lint.rules.units import UnitSuffixRule
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [
+        DeterminismRule(),
+        FloatEqualityRule(),
+        UnitSuffixRule(),
+        SpecRoundTripRule(),
+        ClockDisciplineRule(),
+    ]
+
+
+__all__ = [
+    "ClockDisciplineRule",
+    "DeterminismRule",
+    "FloatEqualityRule",
+    "SpecRoundTripRule",
+    "UnitSuffixRule",
+    "all_rules",
+]

@@ -1,0 +1,186 @@
+"""RPR001: the simulator must be bit-reproducible from its seed.
+
+Wall-clock reads (``time.time()``, ``datetime.now()``), global-state RNGs
+(the stdlib ``random`` module, ``numpy.random.*`` module-level draws,
+``np.random.seed``) and entropy sources (``os.urandom``, ``secrets``,
+``uuid.uuid4``) all break the contract that identical specs reproduce
+identical traces and that the fast engine stays bit-parity with the
+scalar engine.  All randomness must flow through an explicit
+``numpy.random.Generator`` (or ``SeedSequence``) parameter, created from
+the experiment seed via ``default_rng(seed)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint.core import Finding, LintModule, Rule
+
+#: Modules whose import alone is a finding: they exist to produce
+#: non-reproducible values.
+_BANNED_MODULES = {
+    "random": "stdlib random is a global-state RNG; take an explicit "
+    "numpy.random.Generator parameter instead",
+    "secrets": "secrets draws from OS entropy; the simulator must be "
+    "seed-reproducible",
+}
+
+#: Wall-clock reading functions of the ``time`` module.
+_TIME_READS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "clock_gettime",
+    "clock_gettime_ns",
+}
+
+#: ``datetime``/``date`` constructors that read the wall clock.
+_DATETIME_READS = {"now", "utcnow", "today"}
+
+#: Attributes of ``numpy.random`` that do *not* touch global RNG state.
+_NUMPY_RANDOM_ALLOWED = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "default_rng",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Resolve local names to the dotted module paths they were bound to."""
+
+    def __init__(self) -> None:
+        #: local alias -> dotted origin, e.g. {"np": "numpy",
+        #: "default_rng": "numpy.random.default_rng"}.
+        self.aliases: dict[str, str] = {}
+        self.import_nodes: list[tuple[ast.stmt, str]] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.partition(".")[0]
+            origin = alias.name if alias.asname else alias.name.partition(".")[0]
+            self.aliases[local] = origin
+            self.import_nodes.append((node, alias.name))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+            self.import_nodes.append((node, node.module))
+
+
+def resolve_dotted(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Resolve a Name/Attribute chain to its dotted origin, or ``None``."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(aliases.get(current.id, current.id))
+    return ".".join(reversed(parts))
+
+
+class DeterminismRule(Rule):
+    code = "RPR001"
+    name = "determinism"
+    description = (
+        "No wall-clock reads or global-state randomness; randomness flows "
+        "through an explicit seeded numpy Generator/SeedSequence."
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        tracker = _ImportTracker()
+        tracker.visit(module.tree)
+        aliases = tracker.aliases
+
+        for stmt, origin in tracker.import_nodes:
+            top = origin.partition(".")[0]
+            if top in _BANNED_MODULES:
+                yield module.finding(
+                    self, stmt, f"import of {top!r}: {_BANNED_MODULES[top]}"
+                )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, aliases)
+                if (
+                    dotted == "numpy.random.default_rng"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield module.finding(
+                        self,
+                        node,
+                        "default_rng() without a seed draws fresh OS entropy; "
+                        "pass the experiment seed (or a spawned SeedSequence)",
+                    )
+                elif isinstance(node.func, ast.Name) and dotted is not None and "." in dotted:
+                    # A bare call through a ``from x import y`` alias: the
+                    # Attribute walk below never sees it, so check here.
+                    yield from self._check_origin(module, node, dotted)
+                continue
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = resolve_dotted(node, aliases)
+            if dotted is not None:
+                yield from self._check_origin(module, node, dotted)
+
+    def _check_origin(
+        self, module: LintModule, node: ast.expr, dotted: str
+    ) -> Iterator[Finding]:
+        head, _, tail = dotted.partition(".")
+        if head == "time" and tail in _TIME_READS:
+            yield module.finding(
+                self,
+                node,
+                f"wall-clock read time.{tail}(): simulation time must come "
+                "from the engine clock, never the host",
+            )
+            return
+        if head == "datetime":
+            leaf = dotted.rsplit(".", 1)[-1]
+            if leaf in _DATETIME_READS:
+                yield module.finding(
+                    self,
+                    node,
+                    f"wall-clock read {dotted}(): timestamps must be derived "
+                    "from simulated time or passed in explicitly",
+                )
+            return
+        if dotted == "os.urandom":
+            yield module.finding(
+                self, node, "os.urandom reads OS entropy; derive bytes from the seed"
+            )
+            return
+        if head == "uuid" and tail in {"uuid1", "uuid4"}:
+            yield module.finding(
+                self,
+                node,
+                f"uuid.{tail}() is non-deterministic; derive ids from the "
+                "request index or the experiment seed",
+            )
+            return
+        if dotted.startswith("numpy.random."):
+            leaf = dotted.removeprefix("numpy.random.").partition(".")[0]
+            if leaf not in _NUMPY_RANDOM_ALLOWED:
+                yield module.finding(
+                    self,
+                    node,
+                    f"numpy.random.{leaf} uses numpy's global RNG state; draw "
+                    "from an explicit Generator parameter instead",
+                )

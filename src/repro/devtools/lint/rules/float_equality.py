@@ -1,0 +1,101 @@
+"""RPR002: no ``==``/``!=`` between float-valued expressions.
+
+The parity guarantees of this repo are *exact* -- the fast engine, the
+spec hash and the trace seeds are pinned bit-for-bit -- but ordinary
+simulation arithmetic is not: latencies accumulate through different
+orders of operations on different code paths, so float equality is
+either vacuous or a reproduction bug waiting to happen.  Compare with
+tolerances (``math.isclose``), compare ordering (``<=``), or restructure
+so the sentinel is an ``Optional``/integer.  The sanctioned parity
+helpers that *do* compare exact bits carry an explicit
+``# repro-lint: disable=RPR002`` with a reason.
+
+Without type inference, "float-valued" is a heuristic: float literals,
+``float(...)`` casts, true division, and names carrying a float unit
+suffix (``_s``, ``_seconds``, ``_rps``, ``_gbps``, ``_alpha``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint.core import Finding, LintModule, Rule
+
+#: Name suffixes that mark a value as float-typed by repo convention.
+FLOAT_SUFFIXES = (
+    "_s",
+    "_seconds",
+    "_ms",
+    "_us",
+    "_ns",
+    "_rps",
+    "_tps",
+    "_gbps",
+    "_bps",
+    "_hz",
+    "_ghz",
+    "_alpha",
+    "_rate",
+    "_ratio",
+    "_frac",
+    "_fraction",
+    "_share",
+    "_utilization",
+    "_per_s",
+    "_per_token_s",
+)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    name = _terminal_name(node)
+    if name is not None:
+        return name.endswith(FLOAT_SUFFIXES)
+    return False
+
+
+class FloatEqualityRule(Rule):
+    code = "RPR002"
+    name = "float-equality"
+    description = (
+        "No ==/!= on float-valued expressions outside sanctioned parity "
+        "helpers; use tolerances or ordering comparisons."
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_floatish(left) or _is_floatish(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield module.finding(
+                        self,
+                        node,
+                        f"float {symbol} comparison: simulation floats are not "
+                        "exact across code paths; use math.isclose, an ordering "
+                        "comparison, or an explicit parity-pin suppression",
+                    )
+                    break

@@ -1,0 +1,164 @@
+"""RPR003: time/rate/size-valued names must carry a unit suffix.
+
+A timing simulator lives or dies by unit discipline: a ``delay`` added
+to a ``latency`` is a bug the type system cannot see when both are bare
+floats.  The repo's convention is that quantity-valued names end in an
+explicit unit -- ``arrival_s``, ``ttft_deadline_s``, ``rate_rps``,
+``swap_bandwidth_gbps``, ``capacity_tokens`` -- so mixed-unit arithmetic
+is visible at the call site.  This rule flags declarations (assignments,
+function parameters, dataclass fields, loop targets) whose final name
+segment is a bare quantity stem with no unit.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint.core import Finding, LintModule, Rule
+
+#: Quantity stems that demand a unit, mapped to the suffixes to suggest.
+STEM_SUGGESTIONS = {
+    "time": "_s (or _ms/_ns/_cycles)",
+    "latency": "_s (or _ms)",
+    "duration": "_s",
+    "delay": "_s",
+    "interval": "_s",
+    "elapsed": "_s",
+    "timeout": "_s",
+    "deadline": "_s",
+    "overhead": "_s (or _tokens when counting work)",
+    "rate": "_rps (or _hz/_per_s)",
+    "bandwidth": "_gbps (or _bytes_per_s)",
+    "throughput": "_tokens_per_s (or _rps)",
+}
+
+
+def _flagged_stem(name: str) -> str | None:
+    """Return the offending stem when ``name`` needs a unit suffix."""
+    bare = name.lstrip("_").lower()
+    if not bare or "__" in name:
+        return None
+    stem = bare.rsplit("_", 1)[-1]
+    return stem if stem in STEM_SUGGESTIONS else None
+
+
+#: Annotation names treated as numeric quantities.  A declaration whose
+#: annotation names none of these (e.g. ``latency: LatencyStats``) is a
+#: structured object, not a bare number, and is exempt.
+_SCALAR_ANNOTATION_NAMES = {"float", "int", "Decimal", "Fraction"}
+
+
+def _annotation_is_scalar(annotation: ast.expr) -> bool:
+    """True when ``annotation`` mentions a numeric type anywhere."""
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id in _SCALAR_ANNOTATION_NAMES:
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Quoted forward references such as "float | None".
+            if any(scalar in node.value for scalar in _SCALAR_ANNOTATION_NAMES):
+                return True
+    return False
+
+
+class _DeclarationVisitor(ast.NodeVisitor):
+    """Collect (node, name, annotation) declaration sites to check."""
+
+    def __init__(self) -> None:
+        self.declarations: list[tuple[ast.AST, str, ast.expr | None]] = []
+        self._annotation: ast.expr | None = None
+
+    def _add(self, node: ast.AST, name: str | None) -> None:
+        if name:
+            self.declarations.append((node, name, self._annotation))
+
+    def _target(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Name):
+            self._add(node, node.id)
+        elif isinstance(node, ast.Attribute):
+            self._add(node, node.attr)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self._target(element)
+        elif isinstance(node, ast.Starred):
+            self._target(node.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._annotation = node.annotation
+        self._target(node.target)
+        self._annotation = None
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._target(node.target)
+        self.generic_visit(node)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self._target(node.target)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._target(node.target)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._target(node.target)
+        self.generic_visit(node)
+
+    def visit_withitem(self, node: ast.withitem) -> None:
+        if node.optional_vars is not None:
+            self._target(node.optional_vars)
+        self.generic_visit(node)
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            self._annotation = arg.annotation
+            self._add(arg, arg.arg)
+        self._annotation = None
+        if args.vararg is not None:
+            self._add(args.vararg, args.vararg.arg)
+        if args.kwarg is not None:
+            self._add(args.kwarg, args.kwarg.arg)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+class UnitSuffixRule(Rule):
+    code = "RPR003"
+    name = "unit-suffixes"
+    description = (
+        "Quantity-valued names (time/rate/bandwidth/...) must end in an "
+        "explicit unit suffix such as _s, _tokens, _rps."
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        visitor = _DeclarationVisitor()
+        visitor.visit(module.tree)
+        seen: set[tuple[int, int, str]] = set()
+        for node, name, annotation in visitor.declarations:
+            stem = _flagged_stem(name)
+            if stem is None:
+                continue
+            if annotation is not None and not _annotation_is_scalar(annotation):
+                continue
+            key = (getattr(node, "lineno", 1), getattr(node, "col_offset", 0), name)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield module.finding(
+                self,
+                node,
+                f"name {name!r} is {stem}-valued but carries no unit; "
+                f"suffix it with {STEM_SUGGESTIONS[stem]}",
+            )

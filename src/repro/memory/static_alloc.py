@@ -135,7 +135,7 @@ class StaticAllocator:
         """Legacy alias of :meth:`grow` (kept for the PR 1 protocol)."""
         self.grow(request_id, count)
 
-    def preempt(self, request_id: int) -> "PreemptedState":
+    def preempt(self, request_id: int) -> PreemptedState:
         """Free a request's reservation and return a restore receipt.
 
         Raises:
@@ -153,7 +153,7 @@ class StaticAllocator:
             kv_bytes=tokens * self.bytes_per_token,
         )
 
-    def restore(self, request_id: int, state: "PreemptedState") -> None:
+    def restore(self, request_id: int, state: PreemptedState) -> None:
         """Re-admit a preempted request with its saved context.
 
         Raises:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import types
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 
 class TranslationError(KeyError):

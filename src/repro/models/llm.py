@@ -111,7 +111,7 @@ class LLMConfig:
         """Total decoder parameter footprint in bytes."""
         return self.param_count * self.dtype_bytes
 
-    def with_context_window(self, context_window: int) -> "LLMConfig":
+    def with_context_window(self, context_window: int) -> LLMConfig:
         """Return a copy of this config with a different context window."""
         return LLMConfig(
             name=self.name,

@@ -49,7 +49,7 @@ class EnergyBreakdown:
         }[component]
         return value / total
 
-    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+    def __add__(self, other: EnergyBreakdown) -> EnergyBreakdown:
         return EnergyBreakdown(
             mac=self.mac + other.mac,
             io=self.io + other.io,
@@ -59,7 +59,7 @@ class EnergyBreakdown:
             epu=self.epu + other.epu,
         )
 
-    def scaled(self, factor: float) -> "EnergyBreakdown":
+    def scaled(self, factor: float) -> EnergyBreakdown:
         """Return this breakdown scaled by ``factor``."""
         return EnergyBreakdown(
             mac=self.mac * factor,

@@ -18,11 +18,15 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.pim.config import ELEMENTS_PER_TILE, PIMChannelConfig
 from repro.pim.isa import PIMCommand, PIMOpcode
+
+if TYPE_CHECKING:
+    from repro.pim.kernels import BufferCaps
 
 
 @dataclass
@@ -107,7 +111,9 @@ class FunctionalChannel:
                 try:
                     tile = next(tile_iterator)
                 except StopIteration:
-                    raise ValueError("command stream consumes more input tiles than provided")
+                    raise ValueError(
+                        "command stream consumes more input tiles than provided"
+                    ) from None
                 self._gbuf[command.gbuf_idx] = tile
             elif command.opcode is PIMOpcode.MAC:
                 tile_index = command.row * self.tiles_per_row + command.col
@@ -129,7 +135,7 @@ def execute_gemv(
     matrix: np.ndarray,
     vector: np.ndarray,
     channel: PIMChannelConfig | None = None,
-    caps=None,
+    caps: BufferCaps | None = None,
 ) -> np.ndarray:
     """Run a GEMV through lowering + functional execution and gather outputs.
 

@@ -136,7 +136,7 @@ class KernelProgram:
     def is_empty(self) -> bool:
         return self.n_mac == 0 and self.n_io_tiles == 0
 
-    def concatenated(self, other: "KernelProgram") -> "KernelProgram":
+    def concatenated(self, other: KernelProgram) -> KernelProgram:
         """Concatenate two programs executed back to back."""
         return KernelProgram(
             segments=self.segments + other.segments,
@@ -359,10 +359,10 @@ def _occupancy(timing: PIMTiming, opcode: PIMOpcode) -> int:
 
 def _latency(timing: PIMTiming, opcode: PIMOpcode) -> int:
     if opcode is PIMOpcode.WR_INP:
-        return timing.wr_inp_latency
+        return timing.wr_inp_latency_cycles
     if opcode is PIMOpcode.MAC:
-        return timing.mac_latency
-    return timing.rd_out_latency
+        return timing.mac_latency_cycles
+    return timing.rd_out_latency_cycles
 
 
 def _static_busy(program: KernelProgram, timing: PIMTiming) -> float:
@@ -400,7 +400,7 @@ def _dcs_busy(program: KernelProgram, timing: PIMTiming, act_cycles: float) -> f
         io, mac = _segment_io_mac(segment, timing)
         io_total += io * segment.repeat
         mac_total += mac * segment.repeat
-    fill_drain = timing.wr_inp_latency + timing.mac_latency + timing.rd_out_latency
+    fill_drain = timing.wr_inp_latency_cycles + timing.mac_latency_cycles + timing.rd_out_latency_cycles
     return max(io_total, mac_total + act_cycles) + fill_drain
 
 
@@ -423,7 +423,7 @@ def _pingpong_busy(
         io, mac = _segment_io_mac(segment, timing)
         per_rep = max(io, mac + act_per_rep) + handoff_penalty
         busy += per_rep * segment.repeat
-    fill_drain = timing.wr_inp_latency + timing.mac_latency + timing.rd_out_latency
+    fill_drain = timing.wr_inp_latency_cycles + timing.mac_latency_cycles + timing.rd_out_latency_cycles
     return busy + fill_drain
 
 
@@ -460,7 +460,7 @@ def estimate_cycles(
     elif policy == "dcs":
         busy = _dcs_busy(program, timing, act_cycles)
     else:
-        handoff = float(timing.mac_latency + timing.rd_out_latency) / 2.0
+        handoff = float(timing.mac_latency_cycles + timing.rd_out_latency_cycles) / 2.0
         busy = _pingpong_busy(program, timing, act_cycles, handoff)
 
     refresh = 0.0

@@ -19,6 +19,7 @@ import enum
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.pim.config import PIMChannelConfig
 from repro.pim.isa import PIMCommand, PIMOpcode
 from repro.pim.simulator import (
     CommandScheduler,
@@ -26,6 +27,7 @@ from repro.pim.simulator import (
     ScheduleResult,
     _RowTracker,
 )
+from repro.pim.timing import PIMTiming
 
 
 class _CommandClass(enum.Enum):
@@ -116,8 +118,8 @@ class TableDrivenScheduler(CommandScheduler):
 
     def __init__(
         self,
-        timing,
-        channel=None,
+        timing: PIMTiming,
+        channel: PIMChannelConfig | None = None,
         gbuf_regions: int = 0,
         out_regions: int = 0,
         handoff_penalty: int = 0,

@@ -62,7 +62,7 @@ class CycleBreakdown:
             return 0.0
         return self.mac / self.total
 
-    def scaled(self, factor: float) -> "CycleBreakdown":
+    def scaled(self, factor: float) -> CycleBreakdown:
         """Scale every component by ``factor`` (e.g. repetition counts)."""
         return CycleBreakdown(
             mac=self.mac * factor,
@@ -74,7 +74,7 @@ class CycleBreakdown:
             total=self.total * factor,
         )
 
-    def __add__(self, other: "CycleBreakdown") -> "CycleBreakdown":
+    def __add__(self, other: CycleBreakdown) -> CycleBreakdown:
         return CycleBreakdown(
             mac=self.mac + other.mac,
             dt_gbuf=self.dt_gbuf + other.dt_gbuf,
@@ -191,11 +191,11 @@ class CommandScheduler(abc.ABC):
     def latency(self, opcode: PIMOpcode) -> int:
         """Completion latency of ``opcode``."""
         if opcode is PIMOpcode.WR_INP:
-            return self.timing.wr_inp_latency
+            return self.timing.wr_inp_latency_cycles
         if opcode is PIMOpcode.MAC:
-            return self.timing.mac_latency
+            return self.timing.mac_latency_cycles
         if opcode is PIMOpcode.RD_OUT:
-            return self.timing.rd_out_latency
+            return self.timing.rd_out_latency_cycles
         raise ValueError(f"{opcode} has no channel-level latency")
 
     def _finalize(

@@ -31,38 +31,38 @@ class PIMTiming:
     Attributes:
         dram: Underlying DRAM timing (ACT/PRE, refresh, row geometry).
         wr_inp_occupancy: Data-bus cycles per 32B ``WR-INP`` tile.
-        wr_inp_latency: Cycles until the GBuf entry is written.
+        wr_inp_latency_cycles: Cycles until the GBuf entry is written.
         mac_occupancy: MAC-pipeline cycles per ``MAC`` command (tCCD_S).
-        mac_latency: Cycles until the accumulation is architecturally visible.
+        mac_latency_cycles: Cycles until the accumulation is architecturally visible.
         rd_out_occupancy: Data-bus cycles per ``RD-OUT`` drain.
-        rd_out_latency: Cycles until the OutReg/OBuf entry is drained.
+        rd_out_latency_cycles: Cycles until the OutReg/OBuf entry is drained.
     """
 
     dram: DRAMTiming = field(default_factory=DRAMTiming)
     wr_inp_occupancy: int = 8
-    wr_inp_latency: int = 10
+    wr_inp_latency_cycles: int = 10
     mac_occupancy: int = 2
-    mac_latency: int = 4
+    mac_latency_cycles: int = 4
     rd_out_occupancy: int = 8
-    rd_out_latency: int = 10
+    rd_out_latency_cycles: int = 10
 
     def __post_init__(self) -> None:
         for name in (
             "wr_inp_occupancy",
-            "wr_inp_latency",
+            "wr_inp_latency_cycles",
             "mac_occupancy",
-            "mac_latency",
+            "mac_latency_cycles",
             "rd_out_occupancy",
-            "rd_out_latency",
+            "rd_out_latency_cycles",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
-        if self.wr_inp_latency < self.wr_inp_occupancy:
-            raise ValueError("wr_inp_latency must be >= wr_inp_occupancy")
-        if self.mac_latency < self.mac_occupancy:
-            raise ValueError("mac_latency must be >= mac_occupancy")
-        if self.rd_out_latency < self.rd_out_occupancy:
-            raise ValueError("rd_out_latency must be >= rd_out_occupancy")
+        if self.wr_inp_latency_cycles < self.wr_inp_occupancy:
+            raise ValueError("wr_inp_latency_cycles must be >= wr_inp_occupancy")
+        if self.mac_latency_cycles < self.mac_occupancy:
+            raise ValueError("mac_latency_cycles must be >= mac_occupancy")
+        if self.rd_out_latency_cycles < self.rd_out_occupancy:
+            raise ValueError("rd_out_latency_cycles must be >= rd_out_occupancy")
 
     @property
     def t_ccds(self) -> int:
@@ -83,11 +83,11 @@ def illustrative_timing() -> PIMTiming:
     return PIMTiming(
         dram=DRAMTiming(t_ccds=2, t_rcd=18, t_rp=18),
         wr_inp_occupancy=2,
-        wr_inp_latency=4,
+        wr_inp_latency_cycles=4,
         mac_occupancy=2,
-        mac_latency=4,
+        mac_latency_cycles=4,
         rd_out_occupancy=2,
-        rd_out_latency=5,
+        rd_out_latency_cycles=5,
     )
 
 
@@ -102,9 +102,9 @@ def aimx_timing(clock_ghz: float = 1.0) -> PIMTiming:
     return PIMTiming(
         dram=DRAMTiming(clock_ghz=clock_ghz, t_ccds=2, t_rcd=18, t_rp=18),
         wr_inp_occupancy=16,
-        wr_inp_latency=24,
+        wr_inp_latency_cycles=24,
         mac_occupancy=2,
-        mac_latency=5,
+        mac_latency_cycles=5,
         rd_out_occupancy=16,
-        rd_out_latency=24,
+        rd_out_latency_cycles=24,
     )

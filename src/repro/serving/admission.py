@@ -16,7 +16,8 @@ fairness for packing density.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence, runtime_checkable
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
 
 from repro.api.registry import register_admission_policy
 from repro.workloads.traces import Request

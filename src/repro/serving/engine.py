@@ -269,7 +269,7 @@ class ServingEngine:
         charged as an up-front lump.  Swap-mode restores page the full KV
         back regardless and stay lump-charged.
         """
-        overhead = 0.0
+        overhead_s = 0.0
         assert self.preemption is not None
         cost = self.preemption.cost
         prefill_model = self.prefill.model if self.prefill is not None else None
@@ -294,7 +294,7 @@ class ServingEngine:
                 entry.prefill_total = head.state.tokens
                 entry.prefill_done = cached
             else:
-                overhead += cost.restore_seconds(
+                overhead_s += cost.restore_seconds(
                     head.state, prefill_model, cached_tokens=cached
                 )
             tracker.on_restore(
@@ -305,7 +305,7 @@ class ServingEngine:
             entry.admitted_s = clock
             entry.last_step_s = clock
             active[entry.request_id] = entry
-        return overhead
+        return overhead_s
 
     def _admit(
         self,
@@ -322,9 +322,9 @@ class ServingEngine:
         any restores performed (zero under the legacy contract).
         """
         lifecycle = self.lifecycle_admission
-        overhead = 0.0
+        overhead_s = 0.0
         if lifecycle and preempted:
-            overhead = self._restore(preempted, active, allocator, tracker, clock)
+            overhead_s = self._restore(preempted, active, allocator, tracker, clock)
         admitted: set[int] = set()
         ordered = self.admission.order(arrived)
         for candidate in ordered:
@@ -405,7 +405,7 @@ class ServingEngine:
                 ]
                 arrived.clear()
                 arrived.extend(remaining)
-        return len(admitted), overhead
+        return len(admitted), overhead_s
 
     def _grow_or_evict(
         self,
@@ -429,11 +429,11 @@ class ServingEngine:
                 (unreachable when admission enforces ``could_ever_fit``).
         """
         assert self.preemption is not None
-        overhead = 0.0
+        overhead_s = 0.0
         while True:
             try:
                 allocator.grow(entry.request_id, stride)
-                return overhead
+                return overhead_s
             except CapacityExceeded:
                 candidates = [
                     PreemptionCandidate(
@@ -462,7 +462,7 @@ class ServingEngine:
                 victim = active.pop(victim_id)
                 victim.preempt_count += 1
                 state = allocator.preempt(victim_id)
-                overhead += self.preemption.cost.evict_seconds(state)
+                overhead_s += self.preemption.cost.evict_seconds(state)
                 tracker.on_preempt(victim_id, clock)
                 preempted.append(_PreemptedRequest(entry=victim, state=state))
                 preempted_now.add(victim_id)
@@ -485,7 +485,7 @@ class ServingEngine:
         preempted: deque[_PreemptedRequest] = deque()
         lifecycle = self.lifecycle_admission
         preemption_count = 0
-        preemption_overhead = 0.0
+        preemption_overhead_s = 0.0
         # Preemption terminates (each eviction lets the grower advance and
         # restores never evict), but a generous ceiling guards policy bugs.
         preemption_budget = 1000 + 100 * len(trace.requests)
@@ -534,14 +534,14 @@ class ServingEngine:
                 admission_dirty = True
 
             if admission_dirty:
-                admitted_now, restore_overhead = self._admit(
+                admitted_now, restore_overhead_s = self._admit(
                     arrived, active, allocator, tracker, clock, preempted
                 )
                 served += admitted_now
-                if restore_overhead:
-                    busy_seconds += restore_overhead
-                    clock += restore_overhead
-                    preemption_overhead += restore_overhead
+                if restore_overhead_s:
+                    busy_seconds += restore_overhead_s
+                    clock += restore_overhead_s
+                    preemption_overhead_s += restore_overhead_s
                 admission_dirty = False
 
             if not active:
@@ -665,7 +665,7 @@ class ServingEngine:
                 # stride see the freed chunks before resorting to eviction.
                 finished_any = False
                 preempted_now: set[int] = set()
-                evict_overhead = 0.0
+                evict_overhead_s = 0.0
                 lost_tokens = 0
                 for entry in decoding:
                     if entry.request_id in preempted_now:
@@ -674,7 +674,7 @@ class ServingEngine:
                         # materialised for this request.
                         lost_tokens += stride
                         continue
-                    evict_overhead += self._grow_or_evict(
+                    evict_overhead_s += self._grow_or_evict(
                         entry, stride, active, allocator, tracker, clock, preempted, preempted_now
                     )
                     entry.context += stride
@@ -698,10 +698,10 @@ class ServingEngine:
                         f"guard ({preemption_budget}); the policy "
                         f"{self.preemption.policy.name!r} is thrashing"
                     )
-                if evict_overhead:
-                    busy_seconds += evict_overhead
-                    clock += evict_overhead
-                    preemption_overhead += evict_overhead
+                if evict_overhead_s:
+                    busy_seconds += evict_overhead_s
+                    clock += evict_overhead_s
+                    preemption_overhead_s += evict_overhead_s
                 if finished_any or preempted_now:
                     admission_dirty = True
             else:
@@ -785,7 +785,7 @@ class ServingEngine:
                 self.preemption.policy.name if self.preemption is not None else "none"
             ),
             preemptions=preemption_count,
-            preemption_overhead_s=preemption_overhead,
+            preemption_overhead_s=preemption_overhead_s,
             recompute_tokens=sum(
                 record.recompute_tokens for record in tracker.records.values()
             ),

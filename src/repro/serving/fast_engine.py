@@ -138,7 +138,7 @@ class FastServingEngine(ServingEngine):
         lifecycle = self.lifecycle_admission
         chunked_lifecycle = lifecycle and isinstance(allocator, ChunkedAllocator)
         preemption_count = 0
-        preemption_overhead = 0.0
+        preemption_overhead_s = 0.0
         preemption_budget = 1000 + 100 * len(trace.requests)
         tracker = LifecycleTracker()
         for candidate in future:
@@ -192,14 +192,14 @@ class FastServingEngine(ServingEngine):
                 admission_dirty = True
 
             if admission_dirty:
-                admitted_now, restore_overhead = self._admit(
+                admitted_now, restore_overhead_s = self._admit(
                     arrived, active, allocator, tracker, clock, preempted
                 )
                 served += admitted_now
-                if restore_overhead:
-                    busy_seconds += restore_overhead
-                    clock += restore_overhead
-                    preemption_overhead += restore_overhead
+                if restore_overhead_s:
+                    busy_seconds += restore_overhead_s
+                    clock += restore_overhead_s
+                    preemption_overhead_s += restore_overhead_s
                 admission_dirty = False
 
             if not active:
@@ -308,13 +308,13 @@ class FastServingEngine(ServingEngine):
                 if lifecycle:
                     finished_any = False
                     preempted_now: set[int] = set()
-                    evict_overhead = 0.0
+                    evict_overhead_s = 0.0
                     lost_tokens = 0
                     for entry in decoding:
                         if entry.request_id in preempted_now:
                             lost_tokens += stride
                             continue
-                        evict_overhead += self._grow_or_evict(
+                        evict_overhead_s += self._grow_or_evict(
                             entry,
                             stride,
                             active,
@@ -343,10 +343,10 @@ class FastServingEngine(ServingEngine):
                             f"guard ({preemption_budget}); the policy "
                             f"{self.preemption.policy.name!r} is thrashing"
                         )
-                    if evict_overhead:
-                        busy_seconds += evict_overhead
-                        clock += evict_overhead
-                        preemption_overhead += evict_overhead
+                    if evict_overhead_s:
+                        busy_seconds += evict_overhead_s
+                        clock += evict_overhead_s
+                        preemption_overhead_s += evict_overhead_s
                     if finished_any or preempted_now:
                         admission_dirty = True
                 else:
@@ -555,7 +555,7 @@ class FastServingEngine(ServingEngine):
                 self.preemption.policy.name if self.preemption is not None else "none"
             ),
             preemptions=preemption_count,
-            preemption_overhead_s=preemption_overhead,
+            preemption_overhead_s=preemption_overhead_s,
             recompute_tokens=sum(
                 record.recompute_tokens for record in tracker.records.values()
             ),

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.serving.interfaces import DecodeSystem, StepResult
 

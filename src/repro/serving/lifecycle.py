@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -163,7 +163,7 @@ class LatencyStats:
     latency_p99_s: float = 0.0
 
     @staticmethod
-    def from_records(records: Sequence[RequestRecord]) -> "LatencyStats":
+    def from_records(records: Sequence[RequestRecord]) -> LatencyStats:
         finished = [record for record in records if record.finished]
         if not finished:
             return LatencyStats()

@@ -43,7 +43,8 @@ request forever.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence, runtime_checkable
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
 
 from repro.api.registry import register_preemption_policy
 from repro.memory.lifecycle import PREEMPTION_COST_MODES, PreemptedState

@@ -28,9 +28,12 @@ adapts any such system into a :class:`PrefillModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.api.registry import register_prefill_model
+
+if TYPE_CHECKING:
+    from repro.models.llm import LLMConfig
 
 
 @runtime_checkable
@@ -141,7 +144,7 @@ register_prefill_model(
 )
 
 
-def transformer_prefill_flops(model, prompt_tokens: int) -> tuple[float, float]:
+def transformer_prefill_flops(model: LLMConfig, prompt_tokens: int) -> tuple[float, float]:
     """FLOPs of prefilling ``prompt_tokens`` tokens of a decoder-only LLM.
 
     Returns ``(fc_flops, attention_flops)``: the FC GEMMs touch every

@@ -34,7 +34,8 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from collections.abc import Callable, Sequence
+from typing import Protocol, runtime_checkable
 
 from repro.api.registry import register_routing_policy
 from repro.serving.engine import EngineResult, ServingEngine
@@ -278,7 +279,7 @@ class FleetResult:
         policy: str,
         replica_results: Sequence[EngineResult],
         router_dropped: int = 0,
-    ) -> "FleetResult":
+    ) -> FleetResult:
         records: list[RequestRecord] = []
         for result in replica_results:
             records.extend(result.request_records)
@@ -445,7 +446,7 @@ class ReplicaRouter:
         policy: RoutingPolicy | None = None,
         probe_context_tokens: int = DEFAULT_PROBE_CONTEXT_TOKENS,
         ewma_alpha: float = 0.3,
-    ) -> "ReplicaRouter":
+    ) -> ReplicaRouter:
         """Build a router over ``num_replicas`` identical engines."""
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
@@ -479,9 +480,9 @@ class ReplicaRouter:
         )
         for position in order:
             request = trace.requests[position]
-            now = request.arrival_s
+            arrival_s = request.arrival_s
             for state in states:
-                state.drain(now)
+                state.drain(arrival_s)
             choice = self.policy.select(request, states)
             if choice is None:
                 continue
@@ -490,7 +491,7 @@ class ReplicaRouter:
                     f"policy {self.policy.name!r} chose replica {choice} for request "
                     f"{request.request_id}; fleet has {len(states)} replicas"
                 )
-            states[choice].assign(request, now)
+            states[choice].assign(request, arrival_s)
             assignments[position] = choice
         return assignments
 
@@ -499,7 +500,7 @@ class ReplicaRouter:
         assignments = self.dispatch(trace)
         subtraces = partition_trace(trace, assignments, len(self.replicas))
         results = []
-        for index, (engine, subtrace) in enumerate(zip(self.replicas, subtraces)):
+        for index, (engine, subtrace) in enumerate(zip(self.replicas, subtraces, strict=True)):
             base = system_name or type(engine.system).__name__
             results.append(engine.run(subtrace, system_name=f"{base}[replica {index}]"))
         dropped = sum(1 for assignment in assignments if assignment is None)

@@ -8,6 +8,7 @@ them busy with different micro-batches.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.models.llm import LLMConfig
@@ -80,7 +81,7 @@ def enumerate_plans(num_modules: int, model: LLMConfig) -> list[ParallelismPlan]
 def best_plan(
     num_modules: int,
     model: LLMConfig,
-    evaluate,
+    evaluate: Callable[[ParallelismPlan], float],
 ) -> tuple[ParallelismPlan, float]:
     """Pick the plan maximising ``evaluate(plan)`` (a throughput callback)."""
     plans = enumerate_plans(num_modules, model)

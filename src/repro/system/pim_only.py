@@ -159,19 +159,24 @@ class PIMOnlySystem:
             return 0.0
         fc_flops, attention_flops = transformer_prefill_flops(self.model, prompt_tokens)
         if self.module.compute_tflops > 0:
-            per_module_rate = self.module.compute_tflops * 1e12
+            per_module_flops_per_s = self.module.compute_tflops * 1e12
         else:
             seconds_per_cycle = self.module.timing.cycles_to_seconds(1)
-            per_module_rate = self.module.peak_mac_flops_per_cycle / seconds_per_cycle
+            per_module_flops_per_s = self.module.peak_mac_flops_per_cycle / seconds_per_cycle
         tensor_parallel = self.plan.tensor_parallel
-        compute_rate = tensor_parallel * per_module_rate
+        compute_flops_per_s = tensor_parallel * per_module_flops_per_s
         weight_stream_seconds = self.model.param_bytes / (
             tensor_parallel * self.module.internal_bandwidth_bytes
         )
-        return max((fc_flops + attention_flops) / compute_rate, weight_stream_seconds)
+        return max((fc_flops + attention_flops) / compute_flops_per_s, weight_stream_seconds)
 
 
-def _build_pim_only(model, num_modules, plan, pimphony) -> PIMOnlySystem:
+def _build_pim_only(
+    model: LLMConfig,
+    num_modules: int | None,
+    plan: ParallelismPlan | None,
+    pimphony: PIMphonyConfig,
+) -> PIMOnlySystem:
     """Experiment-API builder: CENT-class module pool, paper-matched defaults."""
     from repro.baselines.cent import cent_system_config
 

@@ -14,9 +14,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.registry import register_system
+from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig
 from repro.serving.interfaces import StepResult
 from repro.serving.prefill import transformer_prefill_flops
+from repro.system.parallelism import ParallelismPlan
 
 
 @dataclass(frozen=True)
@@ -204,16 +206,21 @@ class XPUOnlySystem:
         if prompt_tokens <= 0:
             return 0.0
         fc_flops, attention_flops = transformer_prefill_flops(self.model, prompt_tokens)
-        compute_rate = (
+        compute_flops_per_s = (
             self.num_modules * self.xpu.peak_tflops * 1e12 * self.xpu.compute_efficiency
         )
         weight_stream_seconds = self.model.param_bytes / (
             self.num_modules * self.xpu.memory_bandwidth_bytes
         )
-        return max((fc_flops + attention_flops) / compute_rate, weight_stream_seconds)
+        return max((fc_flops + attention_flops) / compute_flops_per_s, weight_stream_seconds)
 
 
-def _build_xpu_only(model, num_modules, plan, pimphony) -> XPUOnlySystem:
+def _build_xpu_only(
+    model: LLMConfig,
+    num_modules: int | None,
+    plan: ParallelismPlan | None,
+    pimphony: PIMphonyConfig,
+) -> XPUOnlySystem:
     """Experiment-API builder: all-matrix-unit ablation point.
 
     Module counts default to the NeuPIMs capacity match (4 x 32GB for 7B,

@@ -27,7 +27,7 @@ from repro.system.xpu import XPUConfig, fc_layer_seconds
 
 #: Fraction of the slower engine's time added per layer for xPU/PIM
 #: synchronisation under sub-batch interleaving.
-SYNC_OVERHEAD = 0.05
+SYNC_OVERHEAD_FRAC = 0.05
 
 
 @dataclass
@@ -108,7 +108,7 @@ class XPUPIMSystem:
             tensor_parallel=tensor_parallel,
             dtype_bytes=self.model.dtype_bytes,
         )
-        layer_seconds = max(attention_seconds, fc_seconds) * (1.0 + SYNC_OVERHEAD)
+        layer_seconds = max(attention_seconds, fc_seconds) * (1.0 + SYNC_OVERHEAD_FRAC)
         sync_bytes = len(microbatch) * self.model.d_model * self.model.dtype_bytes
         layer_seconds += 2 * self.interconnect.all_reduce_seconds(sync_bytes, tensor_parallel)
         stage_seconds = layers * layer_seconds
@@ -150,16 +150,21 @@ class XPUPIMSystem:
             return 0.0
         fc_flops, attention_flops = transformer_prefill_flops(self.model, prompt_tokens)
         tensor_parallel = self.plan.tensor_parallel
-        compute_rate = (
+        compute_flops_per_s = (
             tensor_parallel * self.xpu.peak_tflops * 1e12 * self.xpu.compute_efficiency
         )
         weight_stream_seconds = self.model.param_bytes / (
             tensor_parallel * self.xpu.memory_bandwidth_bytes
         )
-        return max((fc_flops + attention_flops) / compute_rate, weight_stream_seconds)
+        return max((fc_flops + attention_flops) / compute_flops_per_s, weight_stream_seconds)
 
 
-def _build_xpu_pim(model, num_modules, plan, pimphony) -> XPUPIMSystem:
+def _build_xpu_pim(
+    model: LLMConfig,
+    num_modules: int | None,
+    plan: ParallelismPlan | None,
+    pimphony: PIMphonyConfig,
+) -> XPUPIMSystem:
     """Experiment-API builder: NeuPIMs-class deployment, paper-matched defaults."""
     from repro.baselines.neupims import neupims_system_config
 

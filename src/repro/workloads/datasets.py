@@ -42,7 +42,7 @@ class DatasetStats:
         clipped = np.clip(samples, self.minimum, self.maximum)
         return clipped.astype(np.int64)
 
-    def clamp_to_window(self, context_window: int) -> "DatasetStats":
+    def clamp_to_window(self, context_window: int) -> DatasetStats:
         """Restrict the distribution to a model's context window."""
         maximum = min(self.maximum, context_window)
         minimum = min(self.minimum, maximum)

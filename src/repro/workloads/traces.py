@@ -106,7 +106,7 @@ def _fast_request(
     return request
 
 
-def _with_fields(request: Request, **changes) -> Request:
+def _with_fields(request: Request, **changes: object) -> Request:
     """Clone a validated :class:`Request` with ``changes``, skipping
     ``__post_init__`` (``dataclasses.replace`` re-validates every field,
     which dominates trace post-processing at large n)."""
@@ -215,8 +215,8 @@ def poisson_arrivals(trace: RequestTrace, rate_rps: float, seed: int = 0) -> Req
     if times.size and not np.isfinite(times[-1]):
         raise ValueError("arrival_s must be finite and non-negative")
     requests = tuple(
-        _with_fields(request, arrival_s=time)
-        for request, time in zip(trace.requests, times.tolist())
+        _with_fields(request, arrival_s=arrival_s)
+        for request, arrival_s in zip(trace.requests, times.tolist(), strict=True)
     )
     return RequestTrace(dataset=trace.dataset, requests=requests)
 
@@ -236,13 +236,13 @@ def replay_arrivals(trace: RequestTrace, arrival_times: Sequence[float]) -> Requ
         raise ValueError(
             f"expected {len(trace.requests)} arrival times, got {len(arrival_times)}"
         )
-    times = [float(time) for time in arrival_times]
+    times = [float(arrival_time_s) for arrival_time_s in arrival_times]
     checked = np.asarray(times)
     if checked.size and not (np.isfinite(checked).all() and (checked >= 0).all()):
         raise ValueError("arrival_s must be finite and non-negative")
     requests = tuple(
-        _with_fields(request, arrival_s=time)
-        for request, time in zip(trace.requests, times)
+        _with_fields(request, arrival_s=arrival_s)
+        for request, arrival_s in zip(trace.requests, times, strict=True)
     )
     return RequestTrace(dataset=trace.dataset, requests=requests)
 
@@ -264,7 +264,7 @@ def assign_sessions(trace: RequestTrace, session_ids: Sequence[int | None]) -> R
         )
     requests = tuple(
         _with_fields(request, session=None if session is None else int(session))
-        for request, session in zip(trace.requests, session_ids)
+        for request, session in zip(trace.requests, session_ids, strict=True)
     )
     return RequestTrace(dataset=trace.dataset, requests=requests)
 
@@ -507,7 +507,7 @@ def partition_trace(
             f"expected {len(trace.requests)} assignments, got {len(assignments)}"
         )
     buckets: list[list[Request]] = [[] for _ in range(num_parts)]
-    for request, assignment in zip(trace.requests, assignments):
+    for request, assignment in zip(trace.requests, assignments, strict=True):
         if assignment is None:
             continue
         if not 0 <= assignment < num_parts:
@@ -528,7 +528,7 @@ def partition_trace(
 # session assignment and priority tagging uniformly across sources.
 
 
-def _dataset_trace(spec: "TraceSpec", context_window: int, seed: int) -> RequestTrace:
+def _dataset_trace(spec: TraceSpec, context_window: int, seed: int) -> RequestTrace:
     """Sample a trace from a registered dataset's context distribution."""
     return generate_trace(
         get_dataset(spec.dataset),
@@ -539,7 +539,7 @@ def _dataset_trace(spec: "TraceSpec", context_window: int, seed: int) -> Request
     )
 
 
-def _synthetic_trace(spec: "TraceSpec", context_window: int, seed: int) -> RequestTrace:
+def _synthetic_trace(spec: TraceSpec, context_window: int, seed: int) -> RequestTrace:
     """Fixed-shape requests, optionally with every N-th request made heavy.
 
     ``heavy_every`` reproduces the skewed-context scenarios used to stress
@@ -578,7 +578,7 @@ def _synthetic_trace(spec: "TraceSpec", context_window: int, seed: int) -> Reque
     return RequestTrace(dataset="synthetic", requests=requests)
 
 
-def _multi_turn_source(spec: "TraceSpec", context_window: int, seed: int) -> RequestTrace:
+def _multi_turn_source(spec: TraceSpec, context_window: int, seed: int) -> RequestTrace:
     """Multi-turn conversations; sessions and (optional) arrivals are built in.
 
     ``trace.num_sessions`` and ``trace.turns_per_session`` shape the

@@ -160,7 +160,7 @@ class TestFleetParity:
             report.aggregate_throughput_tokens_per_s
             == direct.aggregate_throughput_tokens_per_s
         )
-        for ours, theirs in zip(report.replica_results, direct.replica_results):
+        for ours, theirs in zip(report.replica_results, direct.replica_results, strict=True):
             assert ours.total_seconds == theirs.total_seconds
             assert ours.latency == theirs.latency
 

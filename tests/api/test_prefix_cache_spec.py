@@ -165,7 +165,7 @@ class TestDisabledParity:
         spec = multi_turn_spec()
         explicit = run(spec.with_overrides({"prefix_cache.enabled": False}))
         default = run(spec)
-        for left, right in zip(explicit.replica_results, default.replica_results):
+        for left, right in zip(explicit.replica_results, default.replica_results, strict=True):
             for metric in ENGINE_METRICS:
                 assert getattr(left, metric) == getattr(right, metric), metric
         assert explicit.latency == default.latency

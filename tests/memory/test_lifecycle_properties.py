@@ -7,6 +7,7 @@ model, and a full drain returns it to pristine state.  Operations that
 fail (CapacityExceeded) must leave the allocator untouched.
 """
 
+import contextlib
 import random
 
 import pytest
@@ -127,30 +128,26 @@ def test_random_lifecycle_interleaving_static_books_balance(seed):
         op = rng.choice(["reserve", "grow", "preempt", "restore", "release"])
         if op == "reserve":
             initial = rng.randint(1, TOKENS_PER_CHUNK)
-            try:
+            with contextlib.suppress(AllocationError):
                 allocator.reserve(next_id, initial)
                 live[next_id] = initial
                 next_id += 1
-            except AllocationError:
-                pass
         elif op == "grow" and live:
             victim = rng.choice(sorted(live))
-            try:
+            # AllocationError here means the static maximum was hit; the
+            # reservation is unchanged.
+            with contextlib.suppress(AllocationError):
                 allocator.grow(victim)
                 live[victim] += 1
-            except AllocationError:
-                pass  # hit the static maximum; reservation unchanged
         elif op == "preempt" and live:
             victim = rng.choice(sorted(live))
             preempted[victim] = allocator.preempt(victim)
             del live[victim]
         elif op == "restore" and preempted:
             request_id = rng.choice(sorted(preempted))
-            try:
+            with contextlib.suppress(CapacityExceeded):
                 allocator.restore(request_id, preempted[request_id])
                 live[request_id] = preempted.pop(request_id).tokens
-            except CapacityExceeded:
-                pass
         elif op == "release" and live:
             victim = rng.choice(sorted(live))
             allocator.release(victim)

@@ -1,5 +1,7 @@
 """Tests for command schedulers: the Fig. 7 anchor and ordering semantics."""
 
+from itertools import pairwise
+
 import pytest
 
 from repro.baselines.pingpong import PingPongScheduler
@@ -78,7 +80,7 @@ class TestStaticScheduler:
         commands = [write_input(index, index % 4) for index in range(5)]
         result = StaticScheduler(fig7_timing).schedule(commands)
         issues = [entry.issue for entry in result.scheduled]
-        gaps = [b - a for a, b in zip(issues, issues[1:])]
+        gaps = [b - a for a, b in pairwise(issues)]
         assert all(gap == fig7_timing.wr_inp_occupancy for gap in gaps)
 
 

@@ -10,9 +10,9 @@ class TestPresets:
     def test_illustrative_preset_matches_fig7_granularity(self):
         timing = illustrative_timing()
         assert timing.t_ccds == 2
-        assert timing.wr_inp_latency == 4
-        assert timing.mac_latency == 4
-        assert timing.rd_out_latency == 5
+        assert timing.wr_inp_latency_cycles == 4
+        assert timing.mac_latency_cycles == 4
+        assert timing.rd_out_latency_cycles == 5
 
     def test_aimx_io_much_more_expensive_than_mac(self):
         timing = aimx_timing()
@@ -27,11 +27,11 @@ class TestPresets:
 class TestValidation:
     def test_latency_must_cover_occupancy(self):
         with pytest.raises(ValueError):
-            PIMTiming(wr_inp_occupancy=8, wr_inp_latency=4)
+            PIMTiming(wr_inp_occupancy=8, wr_inp_latency_cycles=4)
 
     def test_positive_fields_required(self):
         with pytest.raises(ValueError):
-            PIMTiming(mac_occupancy=0, mac_latency=0)
+            PIMTiming(mac_occupancy=0, mac_latency_cycles=0)
 
     def test_custom_dram_timing_propagates(self):
         timing = PIMTiming(dram=DRAMTiming(t_ccds=4))

@@ -46,7 +46,7 @@ def assert_close(scalar, fast, path: str = "report") -> None:
             assert_close(scalar[key], fast[key], f"{path}.{key}")
     elif isinstance(scalar, (list, tuple)):
         assert len(scalar) == len(fast), path
-        for index, (left, right) in enumerate(zip(scalar, fast)):
+        for index, (left, right) in enumerate(zip(scalar, fast, strict=True)):
             assert_close(left, right, f"{path}[{index}]")
     elif isinstance(scalar, float) and not isinstance(scalar, bool):
         assert fast == pytest.approx(scalar, rel=1e-9, abs=1e-9), path

@@ -214,7 +214,7 @@ class TestEngineParity:
         shuffled_ids = [5, 2, 9, 0, 7, 3, 11, 1]
         requests = tuple(
             replace(request, request_id=new_id, output_tokens=4 + 2 * index)
-            for index, (request, new_id) in enumerate(zip(base.requests, shuffled_ids))
+            for index, (request, new_id) in enumerate(zip(base.requests, shuffled_ids, strict=True))
         )
         trace = RequestTrace(dataset=base.dataset, requests=requests)
         system = cent_system_config(llm_7b, pimphony=PIMphonyConfig.full())

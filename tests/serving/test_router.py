@@ -125,7 +125,7 @@ class TestRoutingPolicies:
         router = ReplicaRouter.homogeneous(toy_engine, 4, policy=SessionAffinityRouting())
         assignments = router.dispatch(trace)
         by_session = {}
-        for request, assignment in zip(trace.requests, assignments):
+        for request, assignment in zip(trace.requests, assignments, strict=True):
             by_session.setdefault(request.session, set()).add(assignment)
         assert all(len(replicas) == 1 for replicas in by_session.values())
         # Three distinct sessions spread over distinct replicas (fallback is
@@ -198,14 +198,14 @@ class TestCapacityAwareRouting:
 
         round_robin = ReplicaRouter.homogeneous(engine, 4, policy=RoundRobinRouting())
         heavy_per_replica = [0, 0, 0, 0]
-        for request, assignment in zip(trace.requests, round_robin.dispatch(trace)):
+        for request, assignment in zip(trace.requests, round_robin.dispatch(trace), strict=True):
             if request.prompt_tokens > 1000:
                 heavy_per_replica[assignment] += 1
         assert heavy_per_replica == [4, 0, 0, 0]
 
         aware = ReplicaRouter.homogeneous(engine, 4, policy=CapacityAwareRouting())
         heavy_per_replica = [0, 0, 0, 0]
-        for request, assignment in zip(trace.requests, aware.dispatch(trace)):
+        for request, assignment in zip(trace.requests, aware.dispatch(trace), strict=True):
             if request.prompt_tokens > 1000:
                 heavy_per_replica[assignment] += 1
         assert heavy_per_replica == [1, 1, 1, 1]
@@ -291,7 +291,7 @@ class TestTracePartitioning:
             dataset="toy",
             requests=tuple(
                 replace(request, arrival_s=arrival)
-                for request, arrival in zip(base.requests, [2.0, 0.0, 1.0])
+                for request, arrival in zip(base.requests, [2.0, 0.0, 1.0], strict=True)
             ),
         )
         router = ReplicaRouter.homogeneous(toy_engine, 3, policy=RoundRobinRouting())

@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+from itertools import pairwise
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -230,7 +232,7 @@ def test_schedule_issue_order_is_a_monotone_permutation(n_groups, n_inputs, poli
     order = result.issue_order()
     assert sorted(order) == sorted(command.cmd_id for command in commands)
     issue_of = {entry.command.cmd_id: entry.issue for entry in result.scheduled}
-    for earlier, later in zip(order, order[1:]):
+    for earlier, later in pairwise(order):
         assert issue_of[earlier] <= issue_of[later]
         if issue_of[earlier] == issue_of[later]:
             assert earlier < later

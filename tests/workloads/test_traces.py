@@ -1,5 +1,7 @@
 """Tests for request trace generation."""
 
+from itertools import pairwise
+
 import pytest
 
 from repro.workloads.datasets import get_dataset
@@ -68,7 +70,7 @@ class TestArrivalProcesses:
         b = poisson_arrivals(trace, rate_rps=5.0, seed=3)
         assert a.arrival_times == b.arrival_times
         times = a.arrival_times
-        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+        assert all(later > earlier for earlier, later in pairwise(times))
         assert times[0] > 0.0
 
     def test_poisson_rate_sets_mean_gap(self):
@@ -144,7 +146,7 @@ class TestMultiTurnTrace:
         for request in trace.requests:
             by_session.setdefault(request.session, []).append(request)
         for turns in by_session.values():
-            for previous, current in zip(turns, turns[1:]):
+            for previous, current in pairwise(turns):
                 # This turn's prompt = previous full context + new input.
                 expected = previous.prompt_tokens + previous.output_tokens + 20
                 assert current.prompt_tokens == expected
@@ -174,7 +176,7 @@ class TestMultiTurnTrace:
         for turns in by_session.values():
             arrivals = [turn.arrival_s for turn in turns]
             assert arrivals == sorted(arrivals)
-            for previous, current in zip(arrivals, arrivals[1:]):
+            for previous, current in pairwise(arrivals):
                 assert current - previous == pytest.approx(10.0)
         # Per-session jitter keeps sessions from colliding at the same instant.
         first_turn = [turn[0].arrival_s for turn in by_session.values()]
