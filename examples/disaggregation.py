@@ -1,0 +1,112 @@
+"""Prefill/decode disaggregation demo: two pools, modelled KV handoff.
+
+Colocated chunked prefill taxes every decode step: each engine iteration
+spends a chunk budget on pending prompts before pricing the decode batch,
+so a prompt-heavy trace inflates inter-token latency fleet-wide.  The
+disaggregated topology (``router.topology = "disaggregated"``) splits the
+same ``router.replicas`` worth of hardware into a dedicated prefill pool
+and a decode pool: prefill replicas run chunked prefill to completion,
+hand the finished KV cache to a decode replica over a modelled
+interconnect (per-request KV bytes through
+``InterconnectConfig.point_to_point_seconds``), and the decode pool serves
+pure token generation.
+
+Two results, both on the shipped ``examples/specs/disagg_prompt_heavy.json``
+workload (96 requests, every 2nd with a 16k-token prompt, Poisson 12 req/s):
+
+1. **Decode TPOT collapses at equal hardware** -- 2 prefill + 2 decode
+   replicas beat 4 colocated replicas on TPOT p95 by ~1.7x because decode
+   steps no longer share the engine with prefill chunks.  TTFT improves
+   too: dedicated prefill replicas drain the prompt backlog serially
+   instead of time-slicing it against decode.
+2. **The topology is honest about the transfer** -- every handoff is
+   charged its KV-transfer time before the first decode token, and the
+   report carries ``kv_transfer_s`` / per-pool utilization.
+3. **Trivial topology is exact** -- with ``disagg.prefill_replicas = 0``
+   the builder falls back to the colocated construction, so the report is
+   bit-identical to ``router.topology = "colocated"``.
+
+The scenario also ships as JSON:
+
+    python -m repro run examples/specs/disagg_prompt_heavy.json
+
+Run with:  python examples/disaggregation.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.api import ExperimentSpec, run
+
+SPEC_PATH = Path(__file__).parent / "specs" / "disagg_prompt_heavy.json"
+
+
+def compare_topologies(disagg_spec: ExperimentSpec) -> None:
+    colocated_spec = disagg_spec.with_overrides(
+        {"router.topology": "colocated", "router.disagg": None}
+    )
+    disagg = run(disagg_spec)
+    colocated = run(colocated_spec)
+
+    assert disagg.disagg is not None
+    rows = [
+        [
+            "colocated (4 replicas)",
+            colocated.latency.tpot_p95_s * 1e3,
+            colocated.latency.ttft_p95_s,
+            colocated.requests_served,
+            0.0,
+        ],
+        [
+            "disaggregated (2 prefill + 2 decode)",
+            disagg.latency.tpot_p95_s * 1e3,
+            disagg.latency.ttft_p95_s,
+            disagg.requests_served,
+            disagg.disagg.kv_transfer_s,
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["topology", "TPOT p95 ms", "TTFT p95 s", "served", "KV transfer s"],
+            rows,
+            title="Equal hardware, prompt-heavy trace: colocated vs disaggregated",
+        )
+    )
+    speedup = colocated.latency.tpot_p95_s / disagg.latency.tpot_p95_s
+    print(f"\ndecode TPOT p95 speedup at equal hardware: {speedup:.2f}x")
+    print(
+        f"handoffs: {disagg.disagg.handoffs}, "
+        f"KV moved: {disagg.disagg.kv_transfer_bytes / 1e9:.1f} GB, "
+        f"prefill pool utilization: {disagg.disagg.prefill_pool_utilization:.2f}, "
+        f"decode pool utilization: {disagg.disagg.decode_pool_utilization:.2f}"
+    )
+
+
+def trivial_topology_parity(disagg_spec: ExperimentSpec) -> None:
+    # prefill_replicas=0 keeps the disaggregated label but yields no prefill
+    # pool; the builder takes the colocated path, so reports match exactly.
+    trivial = run(
+        disagg_spec.with_overrides({"router.disagg.prefill_replicas": 0})
+    )
+    colocated = run(
+        disagg_spec.with_overrides(
+            {"router.topology": "colocated", "router.disagg": None}
+        )
+    )
+    assert trivial.latency == colocated.latency
+    assert trivial.disagg is None
+    print("\ntrivial topology (prefill_replicas=0) is bit-identical to colocated: OK")
+
+
+def main() -> None:
+    with open(SPEC_PATH, encoding="utf-8") as handle:
+        spec = ExperimentSpec.from_dict(json.load(handle)).validate()
+    print("Prefill/decode disaggregation on LLM-7B-32K, 4 xPU replicas total")
+    compare_topologies(spec)
+    trivial_topology_parity(spec)
+
+
+if __name__ == "__main__":
+    main()

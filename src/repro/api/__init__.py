@@ -46,6 +46,7 @@ _EXPORTS = {
     "TRACES": "registry",
     # spec
     "ExperimentSpec": "spec",
+    "DisaggSpec": "spec",
     "ModelSpec": "spec",
     "SystemSpec": "spec",
     "ParallelismSpec": "spec",
@@ -60,6 +61,7 @@ _EXPORTS = {
     "RouterSpec": "spec",
     "apply_override": "spec",
     "PIMPHONY_PRESETS": "spec",
+    "TOPOLOGIES": "spec",
     # build
     "BuiltExperiment": "build",
     "build": "build",
@@ -70,6 +72,7 @@ _EXPORTS = {
     "run": "build",
     "sweep_specs": "build",
     # report
+    "DisaggReport": "report",
     "RunReport": "report",
     "TierReport": "report",
     # cli

@@ -35,6 +35,7 @@ from repro.api.report import RunReport
 from repro.api.spec import ExperimentSpec, TierSpec
 from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig, get_model
+from repro.serving.disagg import DisaggRouter, PrefillPool
 from repro.serving.engine import ServingEngine
 from repro.serving.fast_engine import FastServingEngine
 from repro.serving.interfaces import DecodeSystem
@@ -43,6 +44,7 @@ from repro.serving.preemption import PreemptionConfig, PreemptionCostModel
 from repro.serving.prefill import PrefillConfig
 from repro.serving.prefix_cache import PrefixCache
 from repro.serving.router import ReplicaRouter
+from repro.system.interconnect import InterconnectConfig
 from repro.system.parallelism import ParallelismPlan
 from repro.workloads.traces import (
     RequestTrace,
@@ -153,7 +155,9 @@ class BuiltExperiment:
     """The assembled-but-not-yet-run pieces of one experiment.
 
     ``router`` is ``None`` for single-engine specs, in which case
-    ``engines`` holds exactly one engine.
+    ``engines`` holds exactly one engine.  ``disagg`` is set only for the
+    disaggregated topology; ``router`` then holds its decode pool and
+    ``engines`` the decode engines.
     """
 
     spec: ExperimentSpec
@@ -162,6 +166,7 @@ class BuiltExperiment:
     trace: RequestTrace
     engines: tuple[ServingEngine, ...]
     router: ReplicaRouter | None
+    disagg: DisaggRouter | None = None
 
     @property
     def engine(self) -> ServingEngine:
@@ -172,6 +177,8 @@ class BuiltExperiment:
 
     def run(self) -> RunReport:
         """Serve the trace to completion and wrap the unified report."""
+        if self.disagg is not None:
+            return RunReport.from_disagg(self.spec, self.disagg.run(self.trace))
         if self.router is not None:
             return RunReport.from_fleet(self.spec, self.router.run(self.trace))
         result = self.engines[0].run(self.trace)
@@ -195,7 +202,7 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
     preemption_factory = _preemption_factory(spec)
     engine_cls = FastServingEngine if spec.engine.mode == "fast" else ServingEngine
 
-    def engine_factory() -> ServingEngine:
+    def engine_factory(engine_prefill: PrefillConfig | None = prefill) -> ServingEngine:
         cache = (
             StepLatencyCache(bucket_tokens=spec.latency_cache_bucket)
             if spec.latency_cache_bucket is not None
@@ -214,7 +221,7 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
             max_batch_size=spec.admission.max_batch_size,
             step_stride=spec.step_stride,
             latency_cache=cache,
-            prefill=prefill,
+            prefill=engine_prefill,
             preemption=preemption_factory(),
             prefix_cache=prefix_cache,
         )
@@ -227,6 +234,43 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
             trace=trace,
             engines=(engine_factory(),),
             router=None,
+        )
+
+    disagg_spec = spec.router.disagg
+    if (
+        spec.router.topology == "disaggregated"
+        and disagg_spec is not None
+        and disagg_spec.prefill_replicas > 0
+    ):
+        # Two-pool fleet: dedicated prefill replicas hand finished KV to a
+        # decode pool over a priced link.  Decode engines carry no prefill
+        # config -- prompts never prefill there -- and validation has
+        # already guaranteed chunked prefill is configured for the pool.
+        assert prefill is not None
+        prefill_pool = PrefillPool(
+            system=system,
+            prefill=prefill,
+            replicas=disagg_spec.prefill_replicas,
+            link=InterconnectConfig(
+                bandwidth_bytes_per_s=disagg_spec.link_bandwidth_bytes_per_s,
+                latency_s=disagg_spec.link_latency_s,
+            ),
+        )
+        decode_router = ReplicaRouter.homogeneous(
+            lambda: engine_factory(None),
+            spec.router.replicas - disagg_spec.prefill_replicas,
+            policy=ROUTING_POLICIES.get(disagg_spec.decode_policy)(),
+            probe_context_tokens=spec.router.probe_context_tokens,
+            ewma_alpha=spec.router.ewma_alpha,
+        )
+        return BuiltExperiment(
+            spec=spec,
+            model=model,
+            system=system,
+            trace=trace,
+            engines=tuple(decode_router.replicas),
+            router=decode_router,
+            disagg=DisaggRouter(prefill_pool=prefill_pool, decode_router=decode_router),
         )
 
     router = ReplicaRouter.homogeneous(

@@ -9,10 +9,11 @@ Subcommands:
   the engine loop to stderr.
 * ``validate SPEC.json [--set key=value]`` -- type/range/registry-key check
   a spec without running it.
-* ``list [systems|admission|routing|preemption|prefill|traces|tiers|
-  models|datasets]`` -- show the registered component vocabulary specs
-  can name (``tiers`` lists the :class:`TierSpec` fields ``--set
-  tiers.N.field`` paths can target).
+* ``list [systems|admission|routing|preemption|prefill|topologies|traces|
+  tiers|models|datasets]`` -- show the registered component vocabulary
+  specs can name (``tiers`` lists the :class:`TierSpec` fields ``--set
+  tiers.N.field`` paths can target; ``topologies`` the fleet topologies
+  ``router.topology`` accepts).
 
 ``--set`` and ``--sweep`` take dotted paths into the spec
 (``trace.num_requests=64``, ``system.pimphony=baseline,full``); values are
@@ -184,6 +185,7 @@ def _tier_fields() -> list[str]:
 
 
 def _command_list(args: argparse.Namespace) -> int:
+    from repro.api.spec import TOPOLOGIES
     from repro.models.llm import list_models
     from repro.workloads.datasets import list_datasets
 
@@ -193,6 +195,7 @@ def _command_list(args: argparse.Namespace) -> int:
         "routing": lambda: ROUTING_POLICIES.names(),
         "preemption": lambda: PREEMPTION_POLICIES.names(),
         "prefill": lambda: PREFILL_MODELS.names(),
+        "topologies": lambda: list(TOPOLOGIES),
         "traces": lambda: TRACES.names(),
         "tiers": _tier_fields,
         "models": list_models,
@@ -255,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
             "routing",
             "preemption",
             "prefill",
+            "topologies",
             "traces",
             "tiers",
             "models",

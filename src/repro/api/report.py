@@ -26,6 +26,7 @@ if TYPE_CHECKING:
     from collections.abc import Sequence
 
     from repro.api.spec import ExperimentSpec
+    from repro.serving.disagg import DisaggResult
 
 
 @dataclass(frozen=True)
@@ -120,6 +121,39 @@ def _tier_reports(
 
 
 @dataclass(frozen=True)
+class DisaggReport:
+    """Two-pool accounting of a disaggregated run (absent for colocated).
+
+    Attributes:
+        prefill_replicas / decode_replicas: The fleet split (their sum is
+            the run's total hardware, ``RunReport.num_replicas``).
+        handoffs: Requests whose finished KV crossed the link.
+        kv_transfer_s: Total simulated link time charged before first
+            decode, summed over handoffs.
+        kv_transfer_bytes: Total KV bytes shipped over the link.
+        prefill_dropped: Requests no prefill replica could ever hold.
+        prefill_busy_seconds: Prefill service time summed over the pool.
+        prefill_makespan_s: When the last prefill replica drained.
+        prefill_pool_utilization / decode_pool_utilization: Mean busy
+            fraction of each pool over its makespan.
+    """
+
+    prefill_replicas: int
+    decode_replicas: int
+    handoffs: int
+    kv_transfer_s: float
+    kv_transfer_bytes: int
+    prefill_dropped: int
+    prefill_busy_seconds: float
+    prefill_makespan_s: float
+    prefill_pool_utilization: float
+    decode_pool_utilization: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
 class RunReport:
     """Metrics plus provenance of one executed :class:`ExperimentSpec`.
 
@@ -200,6 +234,9 @@ class RunReport:
     #: Per-tier metric slices (empty for untiered specs, whose report
     #: schema stays bit-compatible with the pre-tier API).
     tier_reports: tuple[TierReport, ...] = ()
+    #: Two-pool handoff accounting (``None`` for colocated runs, whose
+    #: report schema stays bit-compatible with the pre-disagg API).
+    disagg: DisaggReport | None = None
     _fleet: FleetResult | None = field(default=None, repr=False, compare=False)
 
     # -- derived metrics ----------------------------------------------------
@@ -381,6 +418,37 @@ class RunReport:
             _fleet=fleet,
         )
 
+    @staticmethod
+    def from_disagg(spec: ExperimentSpec, result: DisaggResult) -> RunReport:
+        """Wrap a disaggregated two-pool run.
+
+        The decode fleet's stitched records drive every latency metric (so
+        TTFT spans prefill + transfer + decode); ``num_replicas`` counts
+        *total* hardware -- both pools -- which is what makes the report
+        comparable against an equal-hardware colocated fleet, and
+        ``prefill_mode`` reports the spec's prefill discipline (the pool's)
+        rather than the decode engines' ``"none"``.
+        """
+        assert spec.router is not None
+        report = RunReport.from_fleet(spec, result.fleet)
+        return dataclasses.replace(
+            report,
+            num_replicas=spec.router.replicas,
+            prefill_mode=spec.prefill.mode,
+            disagg=DisaggReport(
+                prefill_replicas=result.prefill_replicas,
+                decode_replicas=result.decode_replicas,
+                handoffs=result.handoffs,
+                kv_transfer_s=result.kv_transfer_s,
+                kv_transfer_bytes=result.kv_transfer_bytes,
+                prefill_dropped=result.prefill_dropped,
+                prefill_busy_seconds=result.prefill_busy_seconds,
+                prefill_makespan_s=result.prefill_makespan_s,
+                prefill_pool_utilization=result.prefill_pool_utilization,
+                decode_pool_utilization=result.decode_pool_utilization,
+            ),
+        )
+
     # -- views --------------------------------------------------------------
 
     @property
@@ -415,8 +483,10 @@ class RunReport:
         """JSON-safe representation: spec, provenance, metrics, replicas.
 
         Tiered runs add an all-up ``goodput`` pair and a ``tiers`` section
-        to ``metrics``; untiered runs emit the exact pre-tier schema, so
-        their report JSON stays bit-identical.
+        to ``metrics``; disaggregated runs add ``kv_transfer_s`` /
+        ``handoffs`` to ``metrics`` and a top-level ``disagg`` section.
+        Colocated untiered runs emit the exact pre-tier schema, so their
+        report JSON stays bit-identical.
         """
         metrics: dict[str, Any] = {
             "num_requests": self.num_requests,
@@ -466,7 +536,10 @@ class RunReport:
                 }
                 for tier in self.tier_reports
             }
-        return {
+        if self.disagg is not None:
+            metrics["kv_transfer_s"] = self.disagg.kv_transfer_s
+            metrics["handoffs"] = self.disagg.handoffs
+        data: dict[str, Any] = {
             "spec": self.spec.to_dict(),
             "spec_hash": self.spec_hash,
             "seed": self.seed,
@@ -496,6 +569,9 @@ class RunReport:
                 for result in self.replica_results
             ],
         }
+        if self.disagg is not None:
+            data["disagg"] = self.disagg.to_dict()
+        return data
 
 
-__all__ = ["RunReport", "TierReport"]
+__all__ = ["DisaggReport", "RunReport", "TierReport"]

@@ -58,6 +58,9 @@ PREFILL_MODES = ("none", "blocking", "chunked")
 #: (aliases the canonical tuple next to the lifecycle types).
 PREEMPTION_MODES = PREEMPTION_COST_MODES
 
+#: Fleet topologies accepted by :attr:`RouterSpec.topology`.
+TOPOLOGIES = ("colocated", "disaggregated")
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
@@ -531,6 +534,47 @@ class TraceSpec:
 
 
 @dataclass(frozen=True)
+class DisaggSpec:
+    """Shape of a disaggregated prefill/decode fleet and its KV link.
+
+    Used when ``router.topology`` is ``"disaggregated"``: out of
+    ``router.replicas`` total engines, ``prefill_replicas`` run chunked
+    prefill to completion and hand the finished KV cache to one of the
+    remaining decode replicas over a point-to-point link (a
+    :class:`~repro.system.interconnect.InterconnectConfig` priced from the
+    request's actual KV bytes).  ``prefill_replicas=0`` is the trivial
+    topology: one colocated pool, bit-identical to ``topology="colocated"``.
+
+    Attributes:
+        prefill_replicas: Engines dedicated to prefill (the remaining
+            ``router.replicas - prefill_replicas`` serve decode).
+        link_bandwidth_bytes_per_s: KV-transfer link bandwidth.
+        link_latency_s: Per-handoff link latency in seconds.
+        decode_policy: Routing policy placing finished prefills onto
+            decode replicas (any registered routing policy;
+            ``"kv-balanced"`` spreads reserved KV tokens evenly).
+    """
+
+    prefill_replicas: int = 1
+    link_bandwidth_bytes_per_s: float = 64e9
+    link_latency_s: float = 2e-6
+    decode_policy: str = "kv-balanced"
+
+    def __post_init__(self) -> None:
+        _check_non_negative_int(self.prefill_replicas, "router.disagg.prefill_replicas")
+        _check_non_negative_float(
+            self.link_bandwidth_bytes_per_s, "router.disagg.link_bandwidth_bytes_per_s"
+        )
+        _require(
+            self.link_bandwidth_bytes_per_s > 0,
+            "router.disagg.link_bandwidth_bytes_per_s must be positive, "
+            f"got {self.link_bandwidth_bytes_per_s!r}",
+        )
+        _check_non_negative_float(self.link_latency_s, "router.disagg.link_latency_s")
+        _check_name(self.decode_policy, "router.disagg.decode_policy")
+
+
+@dataclass(frozen=True)
 class RouterSpec:
     """Data-parallel fleet shape and routing policy.
 
@@ -544,12 +588,19 @@ class RouterSpec:
         ewma_alpha: Weight of measured per-replica TPOT folded back into
             the router's service-time estimates after each run (``0``
             disables the feedback loop and keeps probe-only estimates).
+        topology: ``"colocated"`` (every replica prefills and decodes) or
+            ``"disaggregated"`` (dedicated prefill and decode pools with a
+            modelled KV handoff; requires :attr:`disagg`).
+        disagg: Pool split and KV-link model for the disaggregated
+            topology (:class:`DisaggSpec`); must be ``null`` otherwise.
     """
 
     replicas: int = 1
     policy: str = "round-robin"
     probe_context_tokens: int = 1024
     ewma_alpha: float = 0.3
+    topology: str = "colocated"
+    disagg: DisaggSpec | None = None
 
     def __post_init__(self) -> None:
         _check_positive_int(self.replicas, "router.replicas")
@@ -560,6 +611,27 @@ class RouterSpec:
             self.ewma_alpha <= 1.0,
             f"router.ewma_alpha must be within [0, 1], got {self.ewma_alpha!r}",
         )
+        _check_choice(self.topology, TOPOLOGIES, "router.topology")
+        _require(
+            self.disagg is None or isinstance(self.disagg, DisaggSpec),
+            f"router.disagg must be a DisaggSpec or null, got {type(self.disagg).__name__}",
+        )
+
+
+def _router_from_data(value: Any) -> RouterSpec | None:
+    """Parse the ``router`` mapping, descending into the nested ``disagg``."""
+    if value is None:
+        return None
+    if isinstance(value, RouterSpec):
+        return value
+    if not isinstance(value, Mapping):
+        raise ValueError(f"router must be a mapping, got {type(value).__name__}")
+    data: dict[str, Any] = dict(value)
+    if "disagg" in data:
+        disagg = data["disagg"]
+        if disagg is not None and not isinstance(disagg, DisaggSpec):
+            data["disagg"] = _from_mapping(DisaggSpec, disagg, "router.disagg")
+    return _from_mapping(RouterSpec, data, "router")
 
 
 @dataclass(frozen=True)
@@ -742,6 +814,38 @@ class ExperimentSpec:
         _check_key(PREEMPTION_POLICIES, self.preemption.policy, "preemption.policy")
         if self.router is not None:
             _check_key(ROUTING_POLICIES, self.router.policy, "router.policy")
+            if self.router.topology == "disaggregated":
+                if self.router.disagg is None:
+                    raise ValueError(
+                        "router.topology: 'disaggregated' requires router.disagg "
+                        "(pool split and KV-link model)"
+                    )
+                disagg = self.router.disagg
+                _check_key(ROUTING_POLICIES, disagg.decode_policy, "router.disagg.decode_policy")
+                if disagg.prefill_replicas >= self.router.replicas:
+                    raise ValueError(
+                        f"router.disagg.prefill_replicas: {disagg.prefill_replicas} prefill "
+                        f"replicas leave no decode replica out of router.replicas="
+                        f"{self.router.replicas}"
+                    )
+                if disagg.prefill_replicas > 0:
+                    if self.prefill.mode != "chunked":
+                        raise ValueError(
+                            "router.disagg: a disaggregated prefill pool runs chunked "
+                            "prefill; set prefill.mode='chunked' (got "
+                            f"{self.prefill.mode!r})"
+                        )
+                    if self.prefix_cache.enabled:
+                        raise ValueError(
+                            "router.disagg: prefix_cache is not supported with a "
+                            "disaggregated prefill pool (handoff KV never revisits "
+                            "the prefill replica)"
+                        )
+            elif self.router.disagg is not None:
+                raise ValueError(
+                    "router.disagg: requires router.topology='disaggregated' "
+                    f"(got {self.router.topology!r})"
+                )
         if self.prefill.mode != "none":
             _check_key(PREFILL_MODELS, self.prefill.model, "prefill.model")
         _check_key(TRACES, self.trace.source, "trace.source")
@@ -782,6 +886,13 @@ class ExperimentSpec:
             del data["tiers"]
         else:
             data["tiers"] = [dataclasses.asdict(tier) for tier in self.tiers]
+        if self.router is not None:
+            # Colocated fleets keep the pre-disaggregation router schema
+            # (and spec_hash) bit-for-bit.
+            if self.router.topology == "colocated":
+                del data["router"]["topology"]
+            if self.router.disagg is None:
+                del data["router"]["disagg"]
         return data
 
     @staticmethod
@@ -817,7 +928,7 @@ class ExperimentSpec:
             if key in sub_specs:
                 kwargs[key] = _from_mapping(sub_specs[key], value, key)
             elif key == "router":
-                kwargs[key] = None if value is None else _from_mapping(RouterSpec, value, "router")
+                kwargs[key] = _router_from_data(value)
             elif key == "tiers":
                 kwargs[key] = _tiers_from_data(value)
             else:
@@ -923,6 +1034,8 @@ __all__ = [
     "PIMPHONY_PRESETS",
     "PREEMPTION_MODES",
     "PREFILL_MODES",
+    "TOPOLOGIES",
+    "DisaggSpec",
     "ModelSpec",
     "SystemSpec",
     "ParallelismSpec",

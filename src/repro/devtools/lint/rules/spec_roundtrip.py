@@ -57,6 +57,14 @@ _EXERCISE_BASES: tuple[dict[str, Any], ...] = (
         "parallelism": {"tensor_parallel": 2, "pipeline_parallel": 1},
         "preemption": {"starvation_limit": 3},
     },
+    {
+        "router": {
+            "replicas": 4,
+            "topology": "disaggregated",
+            "disagg": {"prefill_replicas": 1},
+        },
+        "prefill": {"mode": "chunked", "chunk_tokens": 256},
+    },
 )
 
 _MISSING = object()
@@ -205,6 +213,10 @@ class SpecRoundTripRule(Rule):
         # otherwise ``router: None`` on the default base would demand a
         # scalar candidate no validation can accept.
         structured: set[str] = set()
+        # Sub-spec fields that themselves hold a dataclass on any base
+        # (e.g. ``RouterSpec.disagg``) are likewise exercised one level
+        # deeper, never as scalars.
+        nested_structured: set[tuple[str, str]] = set()
         for base in bases:
             if base is None:
                 continue
@@ -214,6 +226,13 @@ class SpecRoundTripRule(Rule):
                     dataclasses.is_dataclass(value) and not isinstance(value, type)
                 ):
                     structured.add(field.name)
+                if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                    for sub_field in dataclasses.fields(value):
+                        sub_value = getattr(value, sub_field.name)
+                        if dataclasses.is_dataclass(sub_value) and not isinstance(
+                            sub_value, type
+                        ):
+                            nested_structured.add((type(value).__name__, sub_field.name))
         for base_index, base in enumerate(bases):
             if base is None:
                 continue
@@ -221,11 +240,25 @@ class SpecRoundTripRule(Rule):
                 value = getattr(base, field.name)
                 if dataclasses.is_dataclass(value) and not isinstance(value, type):
                     for sub_field in dataclasses.fields(value):
+                        sub_value = getattr(value, sub_field.name)
+                        if (type(value).__name__, sub_field.name) in nested_structured:
+                            if dataclasses.is_dataclass(sub_value) and not isinstance(
+                                sub_value, type
+                            ):
+                                for leaf_field in dataclasses.fields(sub_value):
+                                    yield (
+                                        type(sub_value).__name__,
+                                        leaf_field.name,
+                                        (field.name, sub_field.name, leaf_field.name),
+                                        getattr(sub_value, leaf_field.name),
+                                        base_index,
+                                    )
+                            continue
                         yield (
                             type(value).__name__,
                             sub_field.name,
                             (field.name, sub_field.name),
-                            getattr(value, sub_field.name),
+                            sub_value,
                             base_index,
                         )
                 elif field.name == "tiers":

@@ -5,6 +5,9 @@ Layering, from the outside in:
 * :mod:`repro.serving.router` -- the data-parallel :class:`ReplicaRouter`
   fronting N engines with pluggable :class:`RoutingPolicy` implementations
   and merged :class:`FleetResult` metrics.
+* :mod:`repro.serving.disagg` -- the disaggregated two-pool topology: a
+  dedicated :class:`PrefillPool` handing finished KV to a decode fleet
+  over a modelled interconnect (:class:`DisaggRouter`).
 * :mod:`repro.serving.admission` -- pluggable :class:`AdmissionPolicy`
   implementations (FCFS, capacity-aware, priority).
 * :mod:`repro.serving.engine` -- the :class:`ServingEngine` event loop
@@ -32,6 +35,13 @@ from repro.serving.admission import (
     CapacityAwareAdmission,
     FCFSAdmission,
     PriorityAdmission,
+)
+from repro.serving.disagg import (
+    DisaggResult,
+    DisaggRouter,
+    HandoffRecord,
+    PrefillPhase,
+    PrefillPool,
 )
 from repro.serving.engine import EngineResult, ServingEngine, serve
 from repro.serving.fast_engine import FastServingEngine
@@ -80,6 +90,7 @@ from repro.serving.prefix_cache import PrefixCache, PrefixCacheStats
 from repro.serving.router import (
     CapacityAwareRouting,
     FleetResult,
+    KVBalancedRouting,
     LeastOutstandingRouting,
     ReplicaRouter,
     ReplicaState,
@@ -94,6 +105,11 @@ __all__ = [
     "CapacityAwareAdmission",
     "FCFSAdmission",
     "PriorityAdmission",
+    "DisaggResult",
+    "DisaggRouter",
+    "HandoffRecord",
+    "PrefillPhase",
+    "PrefillPool",
     "EngineResult",
     "ServingEngine",
     "FastServingEngine",
@@ -135,6 +151,7 @@ __all__ = [
     "PrefixCacheStats",
     "CapacityAwareRouting",
     "FleetResult",
+    "KVBalancedRouting",
     "LeastOutstandingRouting",
     "ReplicaRouter",
     "ReplicaState",

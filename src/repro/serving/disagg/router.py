@@ -1,0 +1,173 @@
+"""The two-pool front door: prefill pool feeding a decode ReplicaRouter.
+
+:class:`DisaggRouter` runs the phases in simulation order:
+
+1. the :class:`~repro.serving.disagg.handoff.PrefillPool` turns the trace
+   into per-request handoff receipts (finished KV plus a priced link
+   transfer);
+2. every decode engine is given the receipts (``engine.kv_handoff``), the
+   surviving requests are re-timestamped to their KV's landing time, and
+   the decode :class:`~repro.serving.router.ReplicaRouter` serves that
+   trace exactly as it would any other;
+3. the per-request records are stitched back into pipeline form: arrival
+   reset to the original trace arrival and ``prefill_s`` to the charged
+   prefill, so TTFT/latency span the whole journey while TPOT stays pure
+   decode.
+
+The stitched :class:`~repro.serving.router.FleetResult` therefore compares
+apples-to-apples against a colocated fleet run on the same trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.memory.lifecycle import PreemptedState
+from repro.serving.disagg.handoff import HandoffRecord, PrefillPhase, PrefillPool
+from repro.serving.lifecycle import LatencyStats
+from repro.serving.router import FleetResult, ReplicaRouter
+from repro.workloads.traces import RequestTrace
+
+
+@dataclass(frozen=True)
+class DisaggResult:
+    """Fleet metrics plus the handoff accounting of one disaggregated run."""
+
+    #: Stitched decode-pool fleet result (records span the full pipeline).
+    fleet: FleetResult
+    #: The prefill phase, including every handoff receipt.
+    prefill_phase: PrefillPhase
+    prefill_replicas: int
+    decode_replicas: int
+
+    @property
+    def handoffs(self) -> int:
+        """Requests whose KV crossed the link to a decode replica."""
+        return len(self.prefill_phase.handoffs)
+
+    @property
+    def handoff_records(self) -> tuple[HandoffRecord, ...]:
+        """Handoff receipts ordered by request id."""
+        return tuple(
+            self.prefill_phase.handoffs[key] for key in sorted(self.prefill_phase.handoffs)
+        )
+
+    @property
+    def kv_transfer_s(self) -> float:
+        return self.prefill_phase.kv_transfer_s
+
+    @property
+    def kv_transfer_bytes(self) -> int:
+        return self.prefill_phase.kv_transfer_bytes
+
+    @property
+    def prefill_dropped(self) -> int:
+        return len(self.prefill_phase.dropped)
+
+    @property
+    def prefill_busy_seconds(self) -> float:
+        return sum(self.prefill_phase.busy_seconds)
+
+    @property
+    def prefill_makespan_s(self) -> float:
+        return self.prefill_phase.makespan_s
+
+    @property
+    def prefill_pool_utilization(self) -> float:
+        """Mean busy fraction of the prefill replicas over the pool makespan."""
+        denominator = self.prefill_replicas * self.prefill_makespan_s
+        if denominator <= 0:
+            return 0.0
+        return self.prefill_busy_seconds / denominator
+
+    @property
+    def decode_pool_utilization(self) -> float:
+        """Mean busy fraction of the decode replicas over the fleet makespan."""
+        denominator = self.decode_replicas * self.fleet.makespan_s
+        if denominator <= 0:
+            return 0.0
+        return self.fleet.busy_seconds / denominator
+
+
+@dataclass
+class DisaggRouter:
+    """Serves a trace through a prefill pool and a decode replica fleet.
+
+    Attributes:
+        prefill_pool: Dedicated prefill replicas producing handoff receipts.
+        decode_router: Replica fleet serving the decode phase (its engines
+            should carry no prefill config -- prompts never prefill here).
+    """
+
+    prefill_pool: PrefillPool
+    decode_router: ReplicaRouter
+
+    def run(self, trace: RequestTrace, system_name: str = "") -> DisaggResult:
+        """Run both phases and stitch per-request records back together."""
+        phase = self.prefill_pool.run(trace)
+
+        # Decode engines under the incremental lifecycle contract admit
+        # against the *prompt* and grow chunk by chunk, so the receipt's
+        # reserve-to-final chunk commitment must be stripped; legacy-contract
+        # engines keep it (restore then re-commits exactly what a fresh
+        # reserve(prompt, final) would).
+        legacy_receipts: dict[int, PreemptedState] = {}
+        lifecycle_receipts: dict[int, PreemptedState] = {}
+        for request_id, record in phase.handoffs.items():
+            legacy_receipts[request_id] = record.state
+            lifecycle_receipts[request_id] = (
+                dataclasses.replace(record.state, committed_chunks=0)
+                if record.state.committed_chunks
+                else record.state
+            )
+        for engine in self.decode_router.replicas:
+            engine.kv_handoff = (
+                lifecycle_receipts if engine.lifecycle_admission else legacy_receipts
+            )
+
+        decode_requests = tuple(
+            dataclasses.replace(
+                request, arrival_s=phase.handoffs[request.request_id].decode_arrival_s
+            )
+            for request in trace.requests
+            if request.request_id in phase.handoffs
+        )
+        decode_trace = RequestTrace(dataset=trace.dataset, requests=decode_requests)
+        try:
+            fleet = self.decode_router.run(decode_trace, system_name=system_name)
+        finally:
+            for engine in self.decode_router.replicas:
+                engine.kv_handoff = None
+
+        # Stitch the pipeline back together: the decode engines saw KV
+        # landing times as arrivals and charged no prefill, so reset each
+        # record to the original arrival and the prefill the pool charged.
+        # TTFT/latency then span queue + prefill + transfer + decode while
+        # TPOT (first-to-last token) remains pure decode.
+        stitched_results = []
+        for result in fleet.replica_results:
+            stitched = False
+            for record in result.request_records:
+                handoff = phase.handoffs.get(record.request_id)
+                if handoff is None:
+                    continue
+                record.arrival_s = handoff.arrival_s
+                record.prefill_s = handoff.prefill_s
+                stitched = True
+            if stitched:
+                result = dataclasses.replace(
+                    result, latency=LatencyStats.from_records(result.request_records)
+                )
+            stitched_results.append(result)
+        fleet = FleetResult.from_replicas(
+            fleet.policy,
+            stitched_results,
+            router_dropped=fleet.router_dropped + len(phase.dropped),
+        )
+        return DisaggResult(
+            fleet=fleet,
+            prefill_phase=phase,
+            prefill_replicas=self.prefill_pool.replicas,
+            decode_replicas=len(self.decode_router.replicas),
+        )

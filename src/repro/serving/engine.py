@@ -209,6 +209,12 @@ class ServingEngine:
     prefill: PrefillConfig | None = None
     preemption: PreemptionConfig | None = None
     prefix_cache: PrefixCache | None = None
+    #: Finished-prefill KV receipts by request id (disaggregated decode
+    #: pools).  A request found here enters via ``allocator.restore`` --
+    #: the decode half of the preempt-on-prefill-replica handoff -- instead
+    #: of a fresh ``reserve``; admission gating is unchanged, so colocated
+    #: runs (``None``) are untouched.
+    kv_handoff: dict[int, PreemptedState] | None = None
 
     def __post_init__(self) -> None:
         if self.step_stride < 1:
@@ -340,7 +346,20 @@ class ServingEngine:
             else:
                 fits = allocator.can_admit(candidate.final_tokens)
             if fits:
-                if lifecycle:
+                handoff = (
+                    None
+                    if self.kv_handoff is None
+                    else self.kv_handoff.get(candidate.request_id)
+                )
+                if handoff is not None:
+                    # Disaggregated decode entry: the KV already exists (it
+                    # was prefilled elsewhere and preempted off that
+                    # replica), so re-admit it instead of reserving fresh
+                    # space.  The receipt carries the same tokens/commit the
+                    # reserve below would make, so capacity accounting is
+                    # identical to colocated admission.
+                    allocator.restore(candidate.request_id, handoff)
+                elif lifecycle:
                     allocator.reserve(candidate.request_id, candidate.prompt_tokens)
                 else:
                     allocator.reserve(

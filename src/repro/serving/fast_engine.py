@@ -34,10 +34,11 @@ The scalar engine remains authoritative: ``tests/serving/test_fast_engine.py``
 pins the two engines' full ``RunReport`` output against each other (to
 1e-9, observed exact) on every shipped example spec and on randomized
 admission x preemption x prefill x prefix-cache configurations.  Systems
-without ``decode_span`` (the PIM pipelines, whose greedy channel packing is
-order-dependent) and runs with a :class:`StepLatencyCache` attached price
-every evaluation individually inside the span, keeping cache counters and
-utilization/breakdown accumulation identical while still amortising the
+without ``decode_span`` (HFP-packed or multi-stage PIM pipelines, whose
+greedy placement is order-dependent; TCP single-stage PIM systems install a
+memoized closed form) and runs with a :class:`StepLatencyCache` attached
+price every evaluation individually inside the span, keeping cache counters
+and utilization/breakdown accumulation identical while still amortising the
 per-request bookkeeping.
 """
 
@@ -180,6 +181,10 @@ class FastServingEngine(ServingEngine):
         span_fn = getattr(self.system, "decode_span", None)
         if self.latency_cache is not None:
             span_fn = None  # cache counters require per-evaluation pricing
+        # Per-evaluation PIM utilization of a span step: a constant of the
+        # system (0.0 for xpu-only, 1.0 for TCP PIM), accumulated in the
+        # span path to match the scalar engine's per-step samples.
+        span_util = getattr(self.system, "decode_span_utilization", 0.0)
         span_hint = 64
         cap_enabled = allocator.capacity_bytes > 0
         capacity_bytes = allocator.capacity_bytes
@@ -397,12 +402,14 @@ class FastServingEngine(ServingEngine):
                 # Closed-form systems: all latencies in one vectorized call,
                 # then a tight scalar loop for the (order-sensitive) float
                 # accumulation and the crossing check.  Spans of these
-                # systems carry zero utilization and zero breakdowns.
+                # systems carry zero breakdowns and a constant per-step
+                # utilization.
                 seconds = span_fn(contexts, stride, n_plan).tolist()
                 for j in range(n_plan):
                     advance = seconds[j] * stride + prefill_step_seconds
                     busy_seconds += advance
                     clock += advance
+                    utilization_sum += span_util
                     if cap_enabled:
                         capacity_sum += (used_bytes + j * used_increment) / capacity_bytes
                     if j == 0:

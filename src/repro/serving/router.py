@@ -19,6 +19,9 @@ Routing policies implement :class:`RoutingPolicy`:
   :class:`~repro.serving.interfaces.KVAllocator` ``can_admit`` the request
   now, balancing reserved KV tokens; requests no replica could *ever* fit
   are dropped at the router instead of wedging a replica queue.
+* :class:`KVBalancedRouting` -- equalise resident KV tokens per replica
+  (the decode-pool default of the disaggregated topology, see
+  :mod:`repro.serving.disagg`).
 * :class:`SessionAffinityRouting` -- requests sharing a
   :attr:`~repro.workloads.traces.Request.session` id stick to the replica
   that saw the session first (their KV prefix lives there).
@@ -221,6 +224,34 @@ class CapacityAwareRouting:
         return None
 
 
+class KVBalancedRouting:
+    """Spread reserved KV tokens evenly, ignoring momentary admission state.
+
+    The decode-pool default for disaggregated fleets: every arriving
+    request carries its whole prefilled KV, so placement should equalise
+    the *resident KV* per replica (which is what stretches decode batch
+    latency), not chase whichever replica happens to have free space this
+    instant like :class:`CapacityAwareRouting` does.  Requests no replica
+    could ever fit are dropped (``None``); ties break on outstanding count
+    then replica index, so placement is deterministic.
+    """
+
+    name = "kv-balanced"
+
+    def reset(self) -> None:
+        pass
+
+    def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
+        eligible = [state for state in replicas if state.could_ever_admit(request)]
+        if not eligible:
+            return None
+        best = min(
+            eligible,
+            key=lambda state: (state.reserved_tokens, state.outstanding, state.index),
+        )
+        return best.index
+
+
 class SessionAffinityRouting:
     """Pin every session to the replica that first served it.
 
@@ -256,6 +287,7 @@ class SessionAffinityRouting:
 register_routing_policy("round-robin", RoundRobinRouting)
 register_routing_policy("least-outstanding", LeastOutstandingRouting)
 register_routing_policy("capacity-aware", CapacityAwareRouting)
+register_routing_policy("kv-balanced", KVBalancedRouting)
 register_routing_policy("session-affinity", SessionAffinityRouting)
 
 

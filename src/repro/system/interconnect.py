@@ -20,15 +20,19 @@ class InterconnectConfig:
         if self.bandwidth_bytes_per_s <= 0 or self.latency_s < 0:
             raise ValueError("bandwidth must be positive and latency non-negative")
 
-    def all_reduce_seconds(self, bytes_per_module: int, participants: int) -> float:
-        """Time of a ring all-reduce over ``participants`` modules."""
+    def all_reduce_seconds(self, bytes_per_module: float, participants: int) -> float:
+        """Time of a ring all-reduce over ``participants`` modules.
+
+        ``bytes_per_module`` may be fractional: KV-footprint models hand
+        back float byte counts (per-token sizes divided across heads).
+        """
         if participants <= 1 or bytes_per_module <= 0:
             return 0.0
         moved = 2.0 * (participants - 1) / participants * bytes_per_module
         return moved / self.bandwidth_bytes_per_s + 2.0 * self.latency_s
 
-    def point_to_point_seconds(self, num_bytes: int) -> float:
-        """Time to move activations between adjacent pipeline stages."""
+    def point_to_point_seconds(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` over the link (stage hops, KV handoff)."""
         if num_bytes <= 0:
             return 0.0
         return num_bytes / self.bandwidth_bytes_per_s + self.latency_s

@@ -9,13 +9,17 @@ are scheduled statically or with DCS, according to the active
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.api.registry import register_system
 from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig
 from repro.pim.config import PIMModuleConfig, cent_module_config
+from repro.pim.kernels import attention_head_cycles
+from repro.pim.simulator import CycleBreakdown, ZERO_BREAKDOWN
 from repro.serving.interfaces import StepResult
 from repro.serving.prefill import transformer_prefill_flops
 from repro.system.interconnect import InterconnectConfig
@@ -44,6 +48,25 @@ class PIMOnlySystem:
     pimphony: PIMphonyConfig = field(default_factory=PIMphonyConfig.full)
     module: PIMModuleConfig = field(default_factory=cent_module_config)
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    #: Closed-form span evaluator consumed by the fast engine; installed in
+    #: ``__post_init__`` when the configuration admits one (TCP attention,
+    #: single pipeline stage), ``None`` otherwise.
+    decode_span: Callable[[Sequence[int], int, int], np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: PIM utilization of every span-evaluated step.  Under TCP all channels
+    #: carry identical work, so each executed step's utilization is exactly
+    #: 1.0; the fast engine accumulates this constant in its span path.
+    decode_span_utilization: float = field(default=0.0, init=False, repr=False, compare=False)
+    _span_share_cycles: dict[int, CycleBreakdown] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _span_batch_cache: dict[int, tuple[float, float, float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _span_stage_cache: dict[tuple[int, ...], float] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.num_modules <= 0:
@@ -54,6 +77,14 @@ class PIMOnlySystem:
                 f"system has {self.num_modules}"
             )
         self.plan.validate_for(self.model)
+        # TCP shares depend only on each context's channel-share ceiling and
+        # a single stage makes the pipeline scan closed-form, so spans can be
+        # evaluated from memoized stage times bit-identically to
+        # ``decode_step``.  HFP's greedy packing and multi-stage pipelines
+        # are order-dependent; those fall back to per-step evaluation.
+        if self.pimphony.tcp and self.plan.pipeline_parallel == 1:
+            self.decode_span = self._tcp_decode_span
+            self.decode_span_utilization = 1.0
 
     # -- capacity ------------------------------------------------------------
 
@@ -141,6 +172,101 @@ class PIMOnlySystem:
             attention_breakdown=step.attention_breakdown.scaled(scale),
             fc_breakdown=step.fc_breakdown.scaled(scale),
         )
+
+    def _span_batch_terms(self, batch_size: int) -> tuple[float, float, float]:
+        """Batch-size-only stage terms: (fc cycles, 2x all-reduce s, p2p s)."""
+        cached = self._span_batch_cache.get(batch_size)
+        if cached is None:
+            fc_cycles, _ = module_fc_time(
+                batch_size=batch_size,
+                d_model=self.model.d_model,
+                kv_dim=self.model.kv_dim,
+                ffn_dim=self.model.ffn_dim,
+                gated_ffn=self.model.gated_ffn,
+                tensor_parallel=self.plan.tensor_parallel,
+                module=self.module,
+                config=self.pimphony,
+            )
+            sync_bytes = batch_size * self.model.d_model * self.model.dtype_bytes
+            two_all_reduce = 2 * self.interconnect.all_reduce_seconds(
+                sync_bytes, self.plan.tensor_parallel
+            )
+            point_to_point = self.interconnect.point_to_point_seconds(sync_bytes)
+            cached = (fc_cycles, two_all_reduce, point_to_point)
+            self._span_batch_cache[batch_size] = cached
+        return cached
+
+    def _span_stage_seconds(self, shares: tuple[int, ...]) -> float:
+        """Seconds of one TCP stage given per-request channel-share ceilings.
+
+        Replicates :meth:`_stage_cost` arithmetic (same fold order, same
+        association) so memoized values are bit-identical to the per-step
+        path.
+        """
+        cached = self._span_stage_cache.get(shares)
+        if cached is not None:
+            return cached
+        kv_heads_per_module = self.plan.kv_heads_per_module(self.model)
+        attention_cycles = 0.0
+        if kv_heads_per_module > 0:
+            per_channel = ZERO_BREAKDOWN
+            for share in shares:
+                scaled = self._span_share_cycles.get(share)
+                if scaled is None:
+                    scaled = attention_head_cycles(
+                        tokens=share,
+                        head_dim=self.model.head_dim,
+                        channel=self.module.channel,
+                        timing=self.module.timing,
+                        policy="dcs" if self.pimphony.dcs else "static",
+                        group_size=self.model.gqa_group_size,
+                        row_reuse=self.pimphony.row_reuse,
+                    ).scaled(kv_heads_per_module)
+                    self._span_share_cycles[share] = scaled
+                per_channel = per_channel + scaled
+            attention_cycles = per_channel.total
+        fc_cycles, two_all_reduce, point_to_point = self._span_batch_terms(len(shares))
+        layer_seconds = self.module.timing.cycles_to_seconds(attention_cycles + fc_cycles)
+        layer_seconds += two_all_reduce
+        stage_seconds = self.plan.layers_per_stage(self.model) * layer_seconds
+        stage_seconds += point_to_point
+        self._span_stage_cache[shares] = stage_seconds
+        return stage_seconds
+
+    def _tcp_decode_span(
+        self, context_lengths: Sequence[int], stride: int, count: int
+    ) -> np.ndarray:
+        """Latencies of ``count`` consecutive uniform decode evaluations.
+
+        Element ``j`` equals ``decode_step([c + j * stride for c in
+        context_lengths]).seconds`` bit-for-bit.  With one pipeline stage
+        the candidate micro-batch counts are ``{1, n}``: the single
+        micro-batch time comes from one memoized stage lookup, and the
+        fully-split time is the sum of per-request stage times.  A uniform
+        ``+ j * stride`` shift preserves the stable descending sort of the
+        contexts, so the share tuple can be derived from one up-front sort.
+        The corresponding steps carry zero cycle breakdowns; utilization is
+        the constant :attr:`decode_span_utilization`.
+
+        Preconditions (the fast engine guarantees both): every context is
+        positive, and ``stride``/``count`` are positive.
+        """
+        num_channels = self.module.num_channels
+        base = sorted((length for length in context_lengths if length > 0), reverse=True)
+        seconds = np.zeros(count, dtype=np.float64)
+        if not base:
+            return seconds
+        for j in range(count):
+            offset = j * stride
+            shares = tuple(-(-(length + offset) // num_channels) for length in base)
+            single = self._span_stage_seconds(shares)
+            if len(shares) > 1:
+                times = [self._span_stage_seconds((share,)) for share in shares]
+                split = max(sum(times), max(times))
+                seconds[j] = split if split < single else single
+            else:
+                seconds[j] = single
+        return seconds
 
     def prefill_seconds(self, prompt_tokens: int) -> float:
         """Prefill latency on a system with no matrix units.

@@ -21,6 +21,28 @@ class TestInterconnect:
         assert link.point_to_point_seconds(1_000) == pytest.approx(1e-6 + 1e-6)
         assert link.point_to_point_seconds(0) == 0.0
 
+    def test_zero_bytes_are_free(self):
+        link = InterconnectConfig()
+        assert link.all_reduce_seconds(0, participants=8) == 0.0
+        assert link.all_reduce_seconds(-16.0, participants=8) == 0.0
+        assert link.point_to_point_seconds(0.0) == 0.0
+        assert link.point_to_point_seconds(-1.0) == 0.0
+
+    def test_ring_all_reduce_monotone_in_participants(self):
+        """Ring cost 2(p-1)/p grows with p and saturates below 2x p2p."""
+        link = InterconnectConfig(bandwidth_bytes_per_s=1e9, latency_s=0.0)
+        times = [link.all_reduce_seconds(1e6, participants=p) for p in range(2, 10)]
+        assert all(late > early for early, late in zip(times, times[1:], strict=False))
+        assert times[-1] < 2 * link.point_to_point_seconds(1e6)
+
+    def test_accepts_float_byte_counts(self):
+        """KV sizes arrive as floats (bytes-per-token x tokens); no truncation."""
+        link = InterconnectConfig(bandwidth_bytes_per_s=1e9, latency_s=0.0)
+        assert link.point_to_point_seconds(1536.5) == pytest.approx(1536.5e-9)
+        assert link.all_reduce_seconds(1000.0, participants=2) == pytest.approx(
+            link.all_reduce_seconds(1000, participants=2)
+        )
+
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
             InterconnectConfig(bandwidth_bytes_per_s=0)

@@ -77,3 +77,40 @@ class TestDecodeStep:
         step = make_system(llm_7b).decode_step([16384] * 2)
         assert step.attention_breakdown.total > 0
         assert step.fc_breakdown.total > 0
+
+
+class TestDecodeSpan:
+    """The memoized TCP span must replicate ``decode_step`` bit-for-bit."""
+
+    CASES = [
+        ([1], 1, 5),
+        ([1, 1], 8, 7),
+        ([512, 300, 17], 8, 9),
+        ([4096, 4096, 123, 7], 4, 6),
+        ([33, 33, 33], 3, 11),
+        ([20000, 5, 5, 5, 900], 8, 5),
+    ]
+
+    def test_installed_only_for_tcp_single_stage(self, llm_7b):
+        assert make_system(llm_7b, config=PIMphonyConfig.full()).decode_span is not None
+        assert make_system(llm_7b, config=PIMphonyConfig.baseline()).decode_span is None
+        assert make_system(llm_7b, tp=2, pp=4, config=PIMphonyConfig.full()).decode_span is None
+
+    @pytest.mark.parametrize(("contexts", "stride", "count"), CASES)
+    def test_span_matches_decode_step_bitwise(self, llm_7b, contexts, stride, count):
+        system = make_system(llm_7b)
+        span = system.decode_span(contexts, stride, count)
+        for j in range(count):
+            step = system.decode_step([c + j * stride for c in contexts])
+            assert float(span[j]) == step.seconds
+            assert step.pim_utilization == system.decode_span_utilization
+
+    def test_span_utilization_constant_is_one(self, llm_7b):
+        system = make_system(llm_7b)
+        assert system.decode_span_utilization == 1.0
+        assert make_system(llm_7b, config=PIMphonyConfig.baseline()).decode_span_utilization == 0.0
+
+    def test_empty_contexts_priced_at_zero(self, llm_7b):
+        span = make_system(llm_7b).decode_span([], 8, 3)
+        assert span.shape == (3,)
+        assert (span == 0.0).all()
