@@ -1,0 +1,98 @@
+"""Gate BENCH_autoscaler_goodput.json against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_autoscaler.py \
+        [BENCH_autoscaler_goodput.json] [benchmarks/baselines/BENCH_autoscaler_goodput.json]
+
+Run ``pytest benchmarks/test_bench_autoscaler.py`` first; it writes the
+current ``BENCH_autoscaler_goodput.json`` at the repo root.  The check
+fails when a scenario's TTFT attainment drops below the hard SLO floor,
+when its replica-hour savings versus the static-peak fleet regress by
+more than 30%, when a scenario disappears, or when a spec hash no longer
+matches (the scenario definition changed, so the numbers are not
+comparable -- regenerate the baseline by copying the fresh file over
+``benchmarks/baselines/`` and committing it).
+
+Unlike the engine-throughput trend, every number here is produced by a
+fully seeded simulation, so the gate is machine-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Hard floor on TTFT-deadline attainment: the scenario's SLO claim.
+ATTAINMENT_FLOOR = 0.95
+
+#: A scenario may lose at most this fraction of its baseline replica-hour
+#: savings.
+MAX_REGRESSION = 0.30
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_autoscaler_goodput.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_autoscaler_goodput.json"
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())["scenarios"]
+    except FileNotFoundError:
+        raise SystemExit(  # noqa: B904 - the message, not the traceback, is the UX
+            f"error: {path} not found -- run "
+            "`pytest benchmarks/test_bench_autoscaler.py` first"
+        )
+
+
+def check(current_path: Path, baseline_path: Path) -> int:
+    current = _load(current_path)
+    baseline = _load(baseline_path)
+    failures = []
+    for name, expected in baseline.items():
+        measured = current.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from {current_path}")
+            continue
+        if measured["spec_hash"] != expected["spec_hash"]:
+            failures.append(
+                f"{name}: spec hash changed "
+                f"({expected['spec_hash']} -> {measured['spec_hash']}); the scenario "
+                f"definition moved -- regenerate and commit {baseline_path}"
+            )
+            continue
+        attainment = measured["ttft_attainment"]
+        savings = measured["replica_hours_saved_fraction"]
+        savings_floor = expected["replica_hours_saved_fraction"] * (1.0 - MAX_REGRESSION)
+        ok = attainment >= ATTAINMENT_FLOOR and savings >= savings_floor
+        print(
+            f"{name}: TTFT attainment {attainment:.2%} (floor {ATTAINMENT_FLOOR:.0%}), "
+            f"replica-hours saved {savings:.1%} "
+            f"(baseline {expected['replica_hours_saved_fraction']:.1%}, "
+            f"floor {savings_floor:.1%}) {'ok' if ok else 'REGRESSION'}"
+        )
+        if attainment < ATTAINMENT_FLOOR:
+            failures.append(
+                f"{name}: TTFT attainment {attainment:.2%} fell below the "
+                f"{ATTAINMENT_FLOOR:.0%} SLO floor"
+            )
+        if savings < savings_floor:
+            failures.append(
+                f"{name}: replica-hour savings {savings:.1%} fell below "
+                f"{savings_floor:.1%} (baseline "
+                f"{expected['replica_hours_saved_fraction']:.1%} - {MAX_REGRESSION:.0%})"
+            )
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    current = Path(argv[1]) if len(argv) > 1 else DEFAULT_CURRENT
+    baseline = Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+    return check(current, baseline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -104,6 +104,8 @@ from repro.system.serving import ServingResult, simulate_serving
 from repro.workloads.datasets import get_dataset, list_datasets
 from repro.workloads.traces import (
     assign_tiers,
+    burst_arrivals,
+    diurnal_arrivals,
     generate_trace,
     multi_turn_trace,
     partition_trace,
@@ -111,6 +113,7 @@ from repro.workloads.traces import (
     poisson_arrivals,
     random_sessions,
     replay_arrivals,
+    warped_replay_arrivals,
 )
 
 __version__ = "1.3.0"
@@ -165,6 +168,9 @@ __all__ = [
     "multi_turn_trace",
     "poisson_arrivals",
     "replay_arrivals",
+    "diurnal_arrivals",
+    "burst_arrivals",
+    "warped_replay_arrivals",
     "partition_trace",
     "random_sessions",
     "periodic_priorities",

@@ -19,7 +19,8 @@ runs from a checked-in file via ``python -m repro run spec.json`` -- with
 resolved through string-keyed registries that the concrete classes
 self-register into; ``register_system`` / ``register_admission_policy`` /
 ``register_routing_policy`` / ``register_preemption_policy`` /
-``register_prefill_model`` / ``register_trace`` extend the vocabulary.
+``register_prefill_model`` / ``register_trace`` /
+``register_arrival_process`` extend the vocabulary.
 
 This module lazily imports its submodules (PEP 562) so component modules
 (e.g. :mod:`repro.serving.admission`) can import
@@ -38,15 +39,22 @@ _EXPORTS = {
     "register_preemption_policy": "registry",
     "register_prefill_model": "registry",
     "register_trace": "registry",
+    "register_arrival_process": "registry",
     "SYSTEMS": "registry",
     "ADMISSION_POLICIES": "registry",
     "ROUTING_POLICIES": "registry",
     "PREEMPTION_POLICIES": "registry",
     "PREFILL_MODELS": "registry",
     "TRACES": "registry",
+    "ARRIVAL_PROCESSES": "registry",
     # spec
     "ExperimentSpec": "spec",
+    "ArrivalSpec": "spec",
+    "AutoscalerSpec": "spec",
+    "BurstSpec": "spec",
     "DisaggSpec": "spec",
+    "FleetEventSpec": "spec",
+    "WarpPhaseSpec": "spec",
     "ModelSpec": "spec",
     "SystemSpec": "spec",
     "ParallelismSpec": "spec",
@@ -73,6 +81,7 @@ _EXPORTS = {
     "sweep_specs": "build",
     # report
     "DisaggReport": "report",
+    "FleetTimelineReport": "report",
     "RunReport": "report",
     "TierReport": "report",
     # cli

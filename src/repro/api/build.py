@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.api.registry import (
     ADMISSION_POLICIES,
+    ARRIVAL_PROCESSES,
     PREEMPTION_POLICIES,
     PREFILL_MODELS,
     ROUTING_POLICIES,
@@ -35,9 +36,11 @@ from repro.api.report import RunReport
 from repro.api.spec import ExperimentSpec, TierSpec
 from repro.core.orchestrator import PIMphonyConfig
 from repro.models.llm import LLMConfig, get_model
+from repro.serving.autoscaler import ReactiveAutoscaler
 from repro.serving.disagg import DisaggRouter, PrefillPool
 from repro.serving.engine import ServingEngine
 from repro.serving.fast_engine import FastServingEngine
+from repro.serving.fleet_events import DynamicFleetRouter, FleetEvent
 from repro.serving.interfaces import DecodeSystem
 from repro.serving.latency_cache import StepLatencyCache
 from repro.serving.preemption import PreemptionConfig, PreemptionCostModel
@@ -112,6 +115,12 @@ def build_trace(spec: ExperimentSpec, model: LLMConfig | None = None) -> Request
     trace = source(spec.trace, model.context_window, trace_seed)
     if spec.trace.arrival == "poisson":
         trace = poisson_arrivals(trace, spec.trace.rate_rps, seed=arrival_seed)
+    if spec.arrival is not None:
+        # First-class arrival process (validation guarantees it never
+        # stacks on the legacy trace.arrival shortcut).  "poisson" here is
+        # seed-for-seed identical to trace.arrival="poisson" above.
+        process = ARRIVAL_PROCESSES.get(spec.arrival.process)
+        trace = process(trace, spec.arrival, arrival_seed)
     if spec.trace.num_sessions > 0 and not any(
         request.session is not None for request in trace.requests
     ):
@@ -157,7 +166,10 @@ class BuiltExperiment:
     ``router`` is ``None`` for single-engine specs, in which case
     ``engines`` holds exactly one engine.  ``disagg`` is set only for the
     disaggregated topology; ``router`` then holds its decode pool and
-    ``engines`` the decode engines.
+    ``engines`` the decode engines.  ``dynamic`` is set when the spec
+    declares fleet events or an autoscaler; engines are then created
+    per-segment by the timeline, so ``engines`` is empty and ``router``
+    is ``None``.
     """
 
     spec: ExperimentSpec
@@ -167,16 +179,19 @@ class BuiltExperiment:
     engines: tuple[ServingEngine, ...]
     router: ReplicaRouter | None
     disagg: DisaggRouter | None = None
+    dynamic: DynamicFleetRouter | None = None
 
     @property
     def engine(self) -> ServingEngine:
         """The single engine; raises for fleet experiments."""
-        if self.router is not None:
+        if self.router is not None or self.dynamic is not None:
             raise ValueError("experiment runs a router fleet; use .router")
         return self.engines[0]
 
     def run(self) -> RunReport:
         """Serve the trace to completion and wrap the unified report."""
+        if self.dynamic is not None:
+            return RunReport.from_dynamic(self.spec, self.dynamic.run(self.trace))
         if self.disagg is not None:
             return RunReport.from_disagg(self.spec, self.disagg.run(self.trace))
         if self.router is not None:
@@ -234,6 +249,44 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
             trace=trace,
             engines=(engine_factory(),),
             router=None,
+        )
+
+    if spec.fleet_events or spec.autoscaler is not None:
+        # Dynamic fleet: replicas come and go mid-run, so engines are
+        # created per timeline segment rather than up front.  Validation
+        # has already pinned the colocated topology.
+        scaler = None
+        if spec.autoscaler is not None:
+            scaler = ReactiveAutoscaler(
+                signal=spec.autoscaler.signal,
+                scale_up_threshold=spec.autoscaler.scale_up_threshold,
+                scale_down_threshold=spec.autoscaler.scale_down_threshold,
+                min_replicas=spec.autoscaler.min_replicas,
+                max_replicas=spec.autoscaler.max_replicas,
+                interval_s=spec.autoscaler.interval_s,
+                cooldown_s=spec.autoscaler.cooldown_s,
+                cold_start_s=spec.autoscaler.cold_start_s,
+                ewma_alpha=spec.autoscaler.ewma_alpha,
+            )
+        dynamic = DynamicFleetRouter(
+            engine_factory,
+            initial_replicas=spec.router.replicas,
+            policy=ROUTING_POLICIES.get(spec.router.policy)(),
+            events=[
+                FleetEvent(at_s=event.at_s, kind=event.kind, replica=event.replica)
+                for event in spec.fleet_events
+            ],
+            autoscaler=scaler,
+            probe_context_tokens=spec.router.probe_context_tokens,
+        )
+        return BuiltExperiment(
+            spec=spec,
+            model=model,
+            system=system,
+            trace=trace,
+            engines=(),
+            router=None,
+            dynamic=dynamic,
         )
 
     disagg_spec = spec.router.disagg

@@ -32,6 +32,7 @@ from typing import Any
 from repro.analysis.reporting import format_table
 from repro.api.registry import (
     ADMISSION_POLICIES,
+    ARRIVAL_PROCESSES,
     PREEMPTION_POLICIES,
     PREFILL_MODELS,
     ROUTING_POLICIES,
@@ -197,6 +198,7 @@ def _command_list(args: argparse.Namespace) -> int:
         "prefill": lambda: PREFILL_MODELS.names(),
         "topologies": lambda: list(TOPOLOGIES),
         "traces": lambda: TRACES.names(),
+        "arrivals": lambda: ARRIVAL_PROCESSES.names(),
         "tiers": _tier_fields,
         "models": list_models,
         "datasets": list_datasets,
@@ -260,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
             "prefill",
             "topologies",
             "traces",
+            "arrivals",
             "tiers",
             "models",
             "datasets",

@@ -28,6 +28,8 @@ Registered factory signatures:
 * **preemption policy** -- ``factory() -> PreemptionPolicy``.
 * **prefill model** -- ``factory(system, spec: PrefillSpec) -> PrefillModel``.
 * **trace** -- ``factory(spec: TraceSpec, context_window, seed) -> RequestTrace``.
+* **arrival process** -- ``factory(trace, spec: ArrivalSpec, seed) -> RequestTrace``
+  (attaches arrival timestamps to an already-generated trace).
 """
 
 from __future__ import annotations
@@ -105,6 +107,7 @@ ROUTING_POLICIES = Registry("routing policy")
 PREEMPTION_POLICIES = Registry("preemption policy")
 PREFILL_MODELS = Registry("prefill model")
 TRACES = Registry("trace source")
+ARRIVAL_PROCESSES = Registry("arrival process")
 
 register_system = SYSTEMS.register
 register_admission_policy = ADMISSION_POLICIES.register
@@ -112,6 +115,7 @@ register_routing_policy = ROUTING_POLICIES.register
 register_preemption_policy = PREEMPTION_POLICIES.register
 register_prefill_model = PREFILL_MODELS.register
 register_trace = TRACES.register
+register_arrival_process = ARRIVAL_PROCESSES.register
 
 __all__ = [
     "Registry",
@@ -121,10 +125,12 @@ __all__ = [
     "PREEMPTION_POLICIES",
     "PREFILL_MODELS",
     "TRACES",
+    "ARRIVAL_PROCESSES",
     "register_system",
     "register_admission_policy",
     "register_routing_policy",
     "register_preemption_policy",
     "register_prefill_model",
     "register_trace",
+    "register_arrival_process",
 ]

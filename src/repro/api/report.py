@@ -19,14 +19,16 @@ from typing import TYPE_CHECKING, Any
 
 from repro.analysis.reporting import fleet_summary_table, tier_summary_table
 from repro.serving.engine import EngineResult
-from repro.serving.lifecycle import LatencyStats, RequestRecord
+from repro.serving.lifecycle import LatencyStats, RequestRecord, WindowStats, windowed_stats
 from repro.serving.router import FleetResult
 
 if TYPE_CHECKING:
     from collections.abc import Sequence
 
     from repro.api.spec import ExperimentSpec
+    from repro.serving.autoscaler import ScalingDecision
     from repro.serving.disagg import DisaggResult
+    from repro.serving.fleet_events import DynamicFleetResult, SegmentRecord
 
 
 @dataclass(frozen=True)
@@ -154,6 +156,61 @@ class DisaggReport:
 
 
 @dataclass(frozen=True)
+class FleetTimelineReport:
+    """Timeline accounting of a dynamic-fleet run (absent for static fleets).
+
+    Attributes:
+        replica_seconds: Total provisioned replica time across segments
+            (the capacity bill an autoscaler tries to shrink).
+        peak_replicas: Peak concurrently provisioned replicas -- what a
+            static fleet would have had to hold for the whole run.
+        failures: ``replica_down`` events applied.
+        restarts: Victim re-dispatches after failures.
+        kv_lost_tokens: Reserved KV tokens lost to failures (re-warmed on
+            the victims' new replicas).
+        scale_ups / scale_downs: Autoscaler decisions by direction.
+        segments: Per-engine-lifetime billing records.
+        decisions: The autoscaler's full decision log.
+    """
+
+    replica_seconds: float
+    peak_replicas: int
+    failures: int
+    restarts: int
+    kv_lost_tokens: int
+    scale_ups: int
+    scale_downs: int
+    segments: tuple[SegmentRecord, ...] = ()
+    decisions: tuple[ScalingDecision, ...] = ()
+
+    @property
+    def replica_hours(self) -> float:
+        """Provisioned replica-hours (the capacity-planning currency)."""
+        return self.replica_seconds / 3600.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "replica_seconds": self.replica_seconds,
+            "replica_hours": self.replica_hours,
+            "peak_replicas": self.peak_replicas,
+            "failures": self.failures,
+            "restarts": self.restarts,
+            "kv_lost_tokens": self.kv_lost_tokens,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "segments": [dataclasses.asdict(segment) for segment in self.segments],
+            "decisions": [dataclasses.asdict(decision) for decision in self.decisions],
+        }
+
+
+def _windows(spec: ExperimentSpec, records: Sequence[RequestRecord]) -> tuple[WindowStats, ...]:
+    """Per-interval stats when the spec asks for them (else empty)."""
+    if spec.window_s is None:
+        return ()
+    return windowed_stats(records, spec.window_s)
+
+
+@dataclass(frozen=True)
 class RunReport:
     """Metrics plus provenance of one executed :class:`ExperimentSpec`.
 
@@ -237,6 +294,11 @@ class RunReport:
     #: Two-pool handoff accounting (``None`` for colocated runs, whose
     #: report schema stays bit-compatible with the pre-disagg API).
     disagg: DisaggReport | None = None
+    #: Per-interval SLO attainment / goodput series (empty unless the spec
+    #: sets ``window_s``; reports without windows stay bit-compatible).
+    windows: tuple[WindowStats, ...] = ()
+    #: Dynamic-fleet timeline accounting (``None`` for static fleets).
+    fleet_timeline: FleetTimelineReport | None = None
     _fleet: FleetResult | None = field(default=None, repr=False, compare=False)
 
     # -- derived metrics ----------------------------------------------------
@@ -355,6 +417,7 @@ class RunReport:
             prefix_hit_tokens=result.prefix_hit_tokens,
             prefix_evictions=result.prefix_evictions,
             tier_reports=_tier_reports(spec, result.request_records),
+            windows=_windows(spec, result.request_records),
         )
 
     @staticmethod
@@ -415,7 +478,39 @@ class RunReport:
             prefix_hit_tokens=fleet.prefix_hit_tokens,
             prefix_evictions=sum(result.prefix_evictions for result in replicas),
             tier_reports=_tier_reports(spec, fleet.request_records),
+            windows=_windows(spec, fleet.request_records),
             _fleet=fleet,
+        )
+
+    @staticmethod
+    def from_dynamic(spec: ExperimentSpec, result: DynamicFleetResult) -> RunReport:
+        """Wrap a dynamic-fleet run (fleet events and/or autoscaler).
+
+        The merged fleet metrics drive the report exactly as
+        :meth:`from_fleet` does -- records are already stitched back to
+        original arrivals, so TTFT and latency include failure stalls and
+        re-warms.  ``num_replicas`` reports the spec's *initial* fleet
+        (``router.replicas``); the timeline block carries what the fleet
+        actually did: peak replicas, replica-hours billed, failures,
+        restarts, KV lost, and the autoscaler's decision log.
+        """
+        assert spec.router is not None
+        report = RunReport.from_fleet(spec, result.fleet)
+        scale_ups = sum(1 for decision in result.decisions if decision.action == "scale_up")
+        return dataclasses.replace(
+            report,
+            num_replicas=spec.router.replicas,
+            fleet_timeline=FleetTimelineReport(
+                replica_seconds=result.replica_seconds,
+                peak_replicas=result.peak_replicas,
+                failures=result.failures,
+                restarts=result.restarts,
+                kv_lost_tokens=result.kv_lost_tokens,
+                scale_ups=scale_ups,
+                scale_downs=len(result.decisions) - scale_ups,
+                segments=result.segments,
+                decisions=result.decisions,
+            ),
         )
 
     @staticmethod
@@ -484,9 +579,12 @@ class RunReport:
 
         Tiered runs add an all-up ``goodput`` pair and a ``tiers`` section
         to ``metrics``; disaggregated runs add ``kv_transfer_s`` /
-        ``handoffs`` to ``metrics`` and a top-level ``disagg`` section.
-        Colocated untiered runs emit the exact pre-tier schema, so their
-        report JSON stays bit-identical.
+        ``handoffs`` to ``metrics`` and a top-level ``disagg`` section;
+        windowed runs add a ``windows`` series to ``metrics``; dynamic
+        fleets add ``replica_hours`` / ``peak_replicas`` and a top-level
+        ``fleet_timeline`` section.  Colocated untiered static runs emit
+        the exact pre-tier schema, so their report JSON stays
+        bit-identical.
         """
         metrics: dict[str, Any] = {
             "num_requests": self.num_requests,
@@ -536,6 +634,28 @@ class RunReport:
                 }
                 for tier in self.tier_reports
             }
+        if self.windows:
+            metrics["windows"] = {
+                "window_s": self.spec.window_s,
+                "series": [
+                    {
+                        "start_s": window.start_s,
+                        "end_s": window.end_s,
+                        "arrivals": window.arrivals,
+                        "finished": window.finished,
+                        "goodput_requests": window.goodput_requests,
+                        "goodput_fraction": window.goodput_fraction,
+                        "ttft_attainment": window.ttft_attainment,
+                        "tpot_attainment": window.tpot_attainment,
+                        "ttft_p95_ms": window.latency.ttft_p95_s * 1e3,
+                        "latency_p95_ms": window.latency.latency_p95_s * 1e3,
+                    }
+                    for window in self.windows
+                ],
+            }
+        if self.fleet_timeline is not None:
+            metrics["replica_hours"] = self.fleet_timeline.replica_hours
+            metrics["peak_replicas"] = self.fleet_timeline.peak_replicas
         if self.disagg is not None:
             metrics["kv_transfer_s"] = self.disagg.kv_transfer_s
             metrics["handoffs"] = self.disagg.handoffs
@@ -571,7 +691,9 @@ class RunReport:
         }
         if self.disagg is not None:
             data["disagg"] = self.disagg.to_dict()
+        if self.fleet_timeline is not None:
+            data["fleet_timeline"] = self.fleet_timeline.to_dict()
         return data
 
 
-__all__ = ["DisaggReport", "RunReport", "TierReport"]
+__all__ = ["DisaggReport", "FleetTimelineReport", "RunReport", "TierReport"]

@@ -26,6 +26,7 @@ from typing import Any, TypeVar
 
 from repro.api.registry import (
     ADMISSION_POLICIES,
+    ARRIVAL_PROCESSES,
     PREEMPTION_POLICIES,
     PREFILL_MODELS,
     ROUTING_POLICIES,
@@ -60,6 +61,12 @@ PREEMPTION_MODES = PREEMPTION_COST_MODES
 
 #: Fleet topologies accepted by :attr:`RouterSpec.topology`.
 TOPOLOGIES = ("colocated", "disaggregated")
+
+#: Fleet timeline event kinds accepted by :attr:`FleetEventSpec.kind`.
+FLEET_EVENT_KINDS = ("replica_down", "replica_up")
+
+#: Autoscaler feedback signals accepted by :attr:`AutoscalerSpec.signal`.
+SCALER_SIGNALS = ("queue-depth", "ttft-ewma")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -107,6 +114,26 @@ def _check_non_negative_float(value: object, where: str) -> None:
     _require(
         isinstance(value, (int, float)) and not isinstance(value, bool) and value >= 0,
         f"{where} must be a non-negative number, got {value!r}",
+    )
+
+
+def _check_positive_float(value: object, where: str) -> None:
+    _require(
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+        and value > 0,
+        f"{where} must be a positive finite number, got {value!r}",
+    )
+
+
+def _check_finite_non_negative_float(value: object, where: str) -> None:
+    _require(
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+        and value >= 0,
+        f"{where} must be a finite non-negative number, got {value!r}",
     )
 
 
@@ -428,6 +455,27 @@ class TierSpec:
         return self.share is None and self.sessions is None
 
 
+def _spec_list_from_data(
+    cls: type[_SubSpecT], value: Any, where: str
+) -> tuple[_SubSpecT, ...]:
+    """Parse a list of sub-spec mappings, prefixing errors with the index."""
+    if isinstance(value, (str, bytes, Mapping)) or not isinstance(value, Sequence):
+        raise ValueError(f"{where} must be a list of mappings, got {type(value).__name__}")
+    items: list[_SubSpecT] = []
+    for index, item in enumerate(value):
+        if isinstance(item, cls):
+            items.append(item)
+            continue
+        try:
+            items.append(_from_mapping(cls, item, f"{where}[{index}]"))
+        except ValueError as error:
+            message = str(error)
+            if message.startswith(f"{where}[{index}]"):
+                raise
+            raise ValueError(f"{where}[{index}].{message}") from None
+    return tuple(items)
+
+
 def _tiers_from_data(value: Any) -> tuple[TierSpec, ...]:
     """Parse the ``tiers`` list, prefixing errors with the exact tier index."""
     if isinstance(value, (str, bytes, Mapping)) or not isinstance(value, Sequence):
@@ -534,6 +582,153 @@ class TraceSpec:
 
 
 @dataclass(frozen=True)
+class BurstSpec:
+    """One flash-crowd window of the ``"burst"`` arrival process.
+
+    Inside ``[start_s, start_s + duration_s)`` the baseline rate is scaled
+    by ``multiplier`` (above 1 is a flash crowd, below 1 a lull).  Windows
+    must not overlap.
+    """
+
+    start_s: float = 0.0
+    duration_s: float = 1.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        _check_finite_non_negative_float(self.start_s, "start_s")
+        _check_positive_float(self.duration_s, "duration_s")
+        _check_positive_float(self.multiplier, "multiplier")
+
+
+@dataclass(frozen=True)
+class WarpPhaseSpec:
+    """One phase of the ``"trace-warped"`` process's time-dilation profile.
+
+    From ``start_s`` (on the replayed log's source timeline) until the next
+    phase begins, a source interval of length ``dt`` maps to ``dt * factor``
+    of simulated time -- factors above 1 stretch the log (lower load),
+    below 1 compress it (higher load).
+    """
+
+    start_s: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_finite_non_negative_float(self.start_s, "start_s")
+        _check_positive_float(self.factor, "factor")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """First-class arrival process, replacing the fixed-rate assumption.
+
+    When present, this sub-spec overrides the legacy ``trace.arrival``
+    switch: the registered process (see
+    :func:`repro.api.register_arrival_process`) attaches every request's
+    arrival timestamp.  ``"poisson"`` with the same derived seed is
+    equivalence-pinned against ``trace.arrival='poisson'``.  Fields not
+    read by the selected process are ignored, mirroring :class:`TraceSpec`.
+
+    Attributes:
+        process: Registered arrival process (``"poisson"``, ``"replay"``,
+            ``"diurnal"``, ``"burst"``, ``"trace-warped"``).
+        rate_rps: Mean/baseline rate for the rate-driven processes.
+        period_s: Diurnal oscillation period in seconds.
+        amplitude: Diurnal relative swing in ``[0, 1]`` (the peak-to-trough
+            load ratio is ``(1 + a) / (1 - a)``).
+        phase_s: Diurnal time offset; ``period_s / 4`` starts at the trough.
+        bursts: Flash-crowd windows of the ``"burst"`` process.
+        times: Source timestamps for ``"replay"``/``"trace-warped"`` (one
+            per request, finite, non-negative, non-decreasing).
+        warp: Time-dilation phases of the ``"trace-warped"`` process.
+    """
+
+    process: str = "poisson"
+    rate_rps: float = 0.0
+    period_s: float = 3600.0
+    amplitude: float = 0.5
+    phase_s: float = 0.0
+    bursts: tuple[BurstSpec, ...] = ()
+    times: tuple[float, ...] | None = None
+    warp: tuple[WarpPhaseSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_name(self.process, "arrival.process")
+        _check_non_negative_float(self.rate_rps, "arrival.rate_rps")
+        _require(
+            self.process not in ("poisson", "diurnal", "burst") or self.rate_rps > 0,
+            f"arrival.rate_rps must be positive when arrival.process is "
+            f"{self.process!r}, got {self.rate_rps!r}",
+        )
+        _check_positive_float(self.period_s, "arrival.period_s")
+        _require(
+            isinstance(self.amplitude, (int, float))
+            and not isinstance(self.amplitude, bool)
+            and 0 <= self.amplitude <= 1,
+            f"arrival.amplitude must lie within [0, 1], got {self.amplitude!r}",
+        )
+        _require(
+            isinstance(self.phase_s, (int, float))
+            and not isinstance(self.phase_s, bool)
+            and math.isfinite(self.phase_s),
+            f"arrival.phase_s must be a finite number, got {self.phase_s!r}",
+        )
+        _require(
+            isinstance(self.bursts, (list, tuple))
+            and all(isinstance(burst, BurstSpec) for burst in self.bursts),
+            f"arrival.bursts must be a list of BurstSpec, got {self.bursts!r}",
+        )
+        object.__setattr__(self, "bursts", tuple(self.bursts))
+        _require(
+            isinstance(self.warp, (list, tuple))
+            and all(isinstance(phase, WarpPhaseSpec) for phase in self.warp),
+            f"arrival.warp must be a list of WarpPhaseSpec, got {self.warp!r}",
+        )
+        object.__setattr__(self, "warp", tuple(self.warp))
+        if self.times is not None:
+            _require(
+                isinstance(self.times, (list, tuple)) and len(self.times) > 0,
+                f"arrival.times must be a non-empty list of timestamps or null, "
+                f"got {self.times!r}",
+            )
+            cleaned: list[float] = []
+            for index, value in enumerate(self.times):
+                _require(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and math.isfinite(value)
+                    and value >= 0,
+                    f"arrival.times[{index}] must be a finite non-negative "
+                    f"number, got {value!r}",
+                )
+                cleaned.append(float(value))
+            for index in range(1, len(cleaned)):
+                _require(
+                    cleaned[index] >= cleaned[index - 1],
+                    f"arrival.times must be non-decreasing; arrival.times[{index}] "
+                    f"({cleaned[index]!r}) precedes arrival.times[{index - 1}] "
+                    f"({cleaned[index - 1]!r})",
+                )
+            object.__setattr__(self, "times", tuple(cleaned))
+
+
+def _arrival_from_data(value: Any) -> ArrivalSpec | None:
+    """Parse the ``arrival`` mapping, descending into ``bursts``/``warp``."""
+    if value is None:
+        return None
+    if isinstance(value, ArrivalSpec):
+        return value
+    if not isinstance(value, Mapping):
+        raise ValueError(f"arrival must be a mapping, got {type(value).__name__}")
+    data: dict[str, Any] = dict(value)
+    if data.get("bursts") is not None and "bursts" in data:
+        data["bursts"] = _spec_list_from_data(BurstSpec, data["bursts"], "arrival.bursts")
+    if data.get("warp") is not None and "warp" in data:
+        data["warp"] = _spec_list_from_data(WarpPhaseSpec, data["warp"], "arrival.warp")
+    return _from_mapping(ArrivalSpec, data, "arrival")
+
+
+@dataclass(frozen=True)
 class DisaggSpec:
     """Shape of a disaggregated prefill/decode fleet and its KV link.
 
@@ -635,6 +830,105 @@ def _router_from_data(value: Any) -> RouterSpec | None:
 
 
 @dataclass(frozen=True)
+class FleetEventSpec:
+    """One scripted fleet timeline event.
+
+    ``"replica_down"`` fails the replica at ``at_s``: its in-flight
+    requests lose their KV (charged as lost tokens plus a re-warm through
+    the normal admission/prefill path on another replica) and the slot
+    stops accepting work.  ``"replica_up"`` brings the same slot back with
+    a cold engine.  Per slot, events must alternate down/up in time,
+    starting with ``"replica_down"``.
+
+    Attributes:
+        at_s: Event timestamp on the simulation clock.
+        kind: ``"replica_down"`` or ``"replica_up"``.
+        replica: Index of the affected replica in ``[0, router.replicas)``.
+    """
+
+    at_s: float = 0.0
+    kind: str = "replica_down"
+    replica: int = 0
+
+    def __post_init__(self) -> None:
+        _check_finite_non_negative_float(self.at_s, "at_s")
+        _check_choice(self.kind, FLEET_EVENT_KINDS, "kind")
+        _check_non_negative_int(self.replica, "replica")
+
+
+def _fleet_events_from_data(value: Any) -> tuple[FleetEventSpec, ...]:
+    """Parse the ``fleet_events`` list, prefixing errors with the index."""
+    return _spec_list_from_data(FleetEventSpec, value, "fleet_events")
+
+
+@dataclass(frozen=True)
+class AutoscalerSpec:
+    """Reactive replica autoscaler riding on the fleet timeline.
+
+    Every ``interval_s`` the controller samples a load signal over the
+    accepting replicas and compares it against the two thresholds: above
+    ``scale_up_threshold`` it adds a replica (accepting work only after
+    ``cold_start_s``), below ``scale_down_threshold`` it drains one (the
+    drained replica finishes its in-flight requests but accepts no new
+    work).  ``cooldown_s`` rate-limits consecutive decisions.
+
+    Attributes:
+        signal: ``"queue-depth"`` (mean outstanding requests per accepting
+            replica) or ``"ttft-ewma"`` (EWMA of the router's estimated
+            time-to-first-token at dispatch, in seconds).
+        scale_up_threshold: Signal level that triggers adding a replica.
+        scale_down_threshold: Signal level that triggers draining one.
+        min_replicas: Never drain below this many accepting replicas.
+        max_replicas: Never grow beyond this many live replicas.
+        interval_s: Evaluation period of the controller.
+        cooldown_s: Minimum time between two scaling decisions.
+        cold_start_s: Delay before a freshly added replica accepts work
+            (model load, weight warm-up); its replica-hours start at the
+            scale-up decision, so cold starts are paid for, not free.
+        ewma_alpha: Smoothing weight of the ``"ttft-ewma"`` signal.
+    """
+
+    signal: str = "queue-depth"
+    scale_up_threshold: float = 4.0
+    scale_down_threshold: float = 1.0
+    min_replicas: int = 1
+    max_replicas: int = 8
+    interval_s: float = 5.0
+    cooldown_s: float = 30.0
+    cold_start_s: float = 10.0
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        _check_choice(self.signal, SCALER_SIGNALS, "autoscaler.signal")
+        _check_positive_float(self.scale_up_threshold, "autoscaler.scale_up_threshold")
+        _check_finite_non_negative_float(
+            self.scale_down_threshold, "autoscaler.scale_down_threshold"
+        )
+        _require(
+            self.scale_down_threshold < self.scale_up_threshold,
+            "autoscaler.scale_down_threshold must be below scale_up_threshold "
+            f"(got {self.scale_down_threshold!r} >= {self.scale_up_threshold!r}); "
+            "equal thresholds would oscillate every interval",
+        )
+        _check_positive_int(self.min_replicas, "autoscaler.min_replicas")
+        _check_positive_int(self.max_replicas, "autoscaler.max_replicas")
+        _require(
+            self.min_replicas <= self.max_replicas,
+            f"autoscaler.min_replicas ({self.min_replicas}) must not exceed "
+            f"autoscaler.max_replicas ({self.max_replicas})",
+        )
+        _check_positive_float(self.interval_s, "autoscaler.interval_s")
+        _check_finite_non_negative_float(self.cooldown_s, "autoscaler.cooldown_s")
+        _check_finite_non_negative_float(self.cold_start_s, "autoscaler.cold_start_s")
+        _require(
+            isinstance(self.ewma_alpha, (int, float))
+            and not isinstance(self.ewma_alpha, bool)
+            and 0 <= self.ewma_alpha <= 1,
+            f"autoscaler.ewma_alpha must lie within [0, 1], got {self.ewma_alpha!r}",
+        )
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One complete, reproducible serving experiment as data.
 
@@ -669,8 +963,12 @@ class ExperimentSpec:
     prefill: PrefillSpec = field(default_factory=PrefillSpec)
     prefix_cache: PrefixCacheSpec = field(default_factory=PrefixCacheSpec)
     trace: TraceSpec = field(default_factory=TraceSpec)
+    arrival: ArrivalSpec | None = None
     tiers: tuple[TierSpec, ...] = ()
     router: RouterSpec | None = None
+    fleet_events: tuple[FleetEventSpec, ...] = ()
+    autoscaler: AutoscalerSpec | None = None
+    window_s: float | None = None
     seed: int = 0
     step_stride: int = 1
     latency_cache_bucket: int | None = None
@@ -721,6 +1019,43 @@ class ExperimentSpec:
             self.router is None or isinstance(self.router, RouterSpec),
             f"router must be a RouterSpec or null, got {type(self.router).__name__}",
         )
+        _require(
+            self.arrival is None or isinstance(self.arrival, ArrivalSpec),
+            f"arrival must be an ArrivalSpec or null, got {type(self.arrival).__name__}",
+        )
+        _require(
+            isinstance(self.fleet_events, (list, tuple)),
+            f"fleet_events must be a list of FleetEventSpec, "
+            f"got {type(self.fleet_events).__name__}",
+        )
+        for index, event in enumerate(self.fleet_events):
+            _require(
+                isinstance(event, FleetEventSpec),
+                f"fleet_events[{index}] must be a FleetEventSpec, "
+                f"got {type(event).__name__}",
+            )
+        object.__setattr__(self, "fleet_events", tuple(self.fleet_events))
+        _require(
+            self.autoscaler is None or isinstance(self.autoscaler, AutoscalerSpec),
+            f"autoscaler must be an AutoscalerSpec or null, "
+            f"got {type(self.autoscaler).__name__}",
+        )
+        if self.window_s is not None:
+            _check_positive_float(self.window_s, "window_s")
+        if self.arrival is not None:
+            _require(
+                self.trace.arrival == "all-at-once",
+                "arrival and trace.arrival are mutually exclusive ways to "
+                "attach timestamps; keep trace.arrival='all-at-once' when the "
+                f"arrival sub-spec is present (got {self.trace.arrival!r})",
+            )
+            _require(
+                self.trace.turn_gap_s <= 0,
+                "arrival and trace.turn_gap_s are mutually exclusive: the "
+                "arrival process would overwrite the multi-turn source's "
+                "deterministic turn arrivals; set turn_gap_s to 0 or drop "
+                "the arrival sub-spec",
+            )
         self._check_tiers()
         _require(
             _is_int(self.seed) and self.seed >= 0,
@@ -846,6 +1181,94 @@ class ExperimentSpec:
                     "router.disagg: requires router.topology='disaggregated' "
                     f"(got {self.router.topology!r})"
                 )
+        if self.arrival is not None:
+            _check_key(ARRIVAL_PROCESSES, self.arrival.process, "arrival.process")
+            if self.arrival.process in ("replay", "trace-warped"):
+                if self.arrival.times is None:
+                    raise ValueError(
+                        f"arrival.times: the {self.arrival.process!r} process "
+                        "replays explicit timestamps; provide one per request"
+                    )
+                if len(self.arrival.times) != self.trace.num_requests:
+                    raise ValueError(
+                        "arrival.times: expected trace.num_requests="
+                        f"{self.trace.num_requests} timestamps, "
+                        f"got {len(self.arrival.times)}"
+                    )
+            if self.arrival.process == "trace-warped" and not self.arrival.warp:
+                raise ValueError(
+                    "arrival.warp: the 'trace-warped' process requires at "
+                    "least one (start_s, factor) phase"
+                )
+            windows = sorted(
+                (burst.start_s, burst.duration_s) for burst in self.arrival.bursts
+            )
+            for (start_a, duration_a), (start_b, _) in zip(windows, windows[1:], strict=False):
+                if start_b < start_a + duration_a:
+                    raise ValueError(
+                        "arrival.bursts: windows overlap (the window starting "
+                        f"at {start_b!r} begins before the window at "
+                        f"{start_a!r} ends at {start_a + duration_a!r})"
+                    )
+            warp_starts = [phase.start_s for phase in self.arrival.warp]
+            for start_a, start_b in zip(warp_starts, warp_starts[1:], strict=False):
+                if start_b <= start_a:
+                    raise ValueError(
+                        "arrival.warp: phase starts must be strictly "
+                        f"increasing, got {start_b!r} after {start_a!r}"
+                    )
+        if self.fleet_events or self.autoscaler is not None:
+            if self.router is None:
+                raise ValueError(
+                    "fleet_events/autoscaler: the fleet timeline needs a "
+                    "replica fleet; set router (e.g. router.replicas)"
+                )
+            if self.router.topology != "colocated":
+                raise ValueError(
+                    "fleet_events/autoscaler: the fleet timeline supports "
+                    f"only the 'colocated' topology, got {self.router.topology!r}"
+                )
+        if self.fleet_events:
+            per_slot: dict[int, list[FleetEventSpec]] = {}
+            for event in self.fleet_events:
+                per_slot.setdefault(event.replica, []).append(event)
+            assert self.router is not None
+            for replica, events in sorted(per_slot.items()):
+                if replica >= self.router.replicas:
+                    raise ValueError(
+                        f"fleet_events: replica {replica} is outside the fleet "
+                        f"(router.replicas={self.router.replicas})"
+                    )
+                events.sort(key=lambda event: event.at_s)
+                for previous, current in zip(events, events[1:], strict=False):
+                    if current.at_s <= previous.at_s:
+                        raise ValueError(
+                            f"fleet_events: replica {replica} has two events at "
+                            f"indistinguishable times ({previous.at_s!r} and "
+                            f"{current.at_s!r}); event times must be strictly "
+                            "increasing per replica"
+                        )
+                for index, event in enumerate(events):
+                    expected = "replica_down" if index % 2 == 0 else "replica_up"
+                    if event.kind != expected:
+                        raise ValueError(
+                            f"fleet_events: replica {replica}'s events must "
+                            "alternate replica_down/replica_up starting with "
+                            f"replica_down; event at t={event.at_s!r} is "
+                            f"{event.kind!r} but {expected!r} was expected"
+                        )
+        if self.autoscaler is not None:
+            assert self.router is not None
+            if not (
+                self.autoscaler.min_replicas
+                <= self.router.replicas
+                <= self.autoscaler.max_replicas
+            ):
+                raise ValueError(
+                    f"autoscaler: router.replicas={self.router.replicas} must "
+                    "start inside [autoscaler.min_replicas, autoscaler.max_replicas] "
+                    f"= [{self.autoscaler.min_replicas}, {self.autoscaler.max_replicas}]"
+                )
         if self.prefill.mode != "none":
             _check_key(PREFILL_MODELS, self.prefill.model, "prefill.model")
         _check_key(TRACES, self.trace.source, "trace.source")
@@ -893,6 +1316,25 @@ class ExperimentSpec:
                 del data["router"]["topology"]
             if self.router.disagg is None:
                 del data["router"]["disagg"]
+        # Static-world specs (no arrival process, no fleet timeline, no
+        # windowing) keep the pre-timeline schema and spec_hash bit-for-bit.
+        if self.arrival is None:
+            del data["arrival"]
+        else:
+            arrival = dict(data["arrival"])
+            arrival["bursts"] = [dataclasses.asdict(burst) for burst in self.arrival.bursts]
+            arrival["warp"] = [dataclasses.asdict(phase) for phase in self.arrival.warp]
+            if self.arrival.times is not None:
+                arrival["times"] = list(self.arrival.times)
+            data["arrival"] = arrival
+        if not self.fleet_events:
+            del data["fleet_events"]
+        else:
+            data["fleet_events"] = [dataclasses.asdict(event) for event in self.fleet_events]
+        if self.autoscaler is None:
+            del data["autoscaler"]
+        if self.window_s is None:
+            del data["window_s"]
         return data
 
     @staticmethod
@@ -931,6 +1373,15 @@ class ExperimentSpec:
                 kwargs[key] = _router_from_data(value)
             elif key == "tiers":
                 kwargs[key] = _tiers_from_data(value)
+            elif key == "arrival":
+                kwargs[key] = _arrival_from_data(value)
+            elif key == "fleet_events":
+                kwargs[key] = _fleet_events_from_data(value)
+            elif key == "autoscaler":
+                if value is None or isinstance(value, AutoscalerSpec):
+                    kwargs[key] = value
+                else:
+                    kwargs[key] = _from_mapping(AutoscalerSpec, value, "autoscaler")
             else:
                 kwargs[key] = value
         return ExperimentSpec(**kwargs)
@@ -1031,11 +1482,17 @@ __all__ = [
     "ALLOCATOR_MODES",
     "ARRIVAL_MODES",
     "ENGINE_MODES",
+    "FLEET_EVENT_KINDS",
     "PIMPHONY_PRESETS",
     "PREEMPTION_MODES",
     "PREFILL_MODES",
+    "SCALER_SIGNALS",
     "TOPOLOGIES",
+    "ArrivalSpec",
+    "AutoscalerSpec",
+    "BurstSpec",
     "DisaggSpec",
+    "FleetEventSpec",
     "ModelSpec",
     "SystemSpec",
     "ParallelismSpec",
@@ -1048,6 +1505,7 @@ __all__ = [
     "TierSpec",
     "TraceSpec",
     "RouterSpec",
+    "WarpPhaseSpec",
     "ExperimentSpec",
     "apply_override",
 ]

@@ -65,6 +65,34 @@ _EXERCISE_BASES: tuple[dict[str, Any], ...] = (
         },
         "prefill": {"mode": "chunked", "chunk_tokens": 256},
     },
+    {
+        "router": {"replicas": 3},
+        "arrival": {
+            "process": "diurnal",
+            "rate_rps": 2.0,
+            "period_s": 120.0,
+            "amplitude": 0.6,
+            "phase_s": 30.0,
+            "bursts": [{"start_s": 10.0, "duration_s": 5.0, "multiplier": 3.0}],
+            "warp": [{"start_s": 5.0, "factor": 1.5}],
+        },
+        "fleet_events": [
+            {"at_s": 30.0, "kind": "replica_down", "replica": 1},
+            {"at_s": 60.0, "kind": "replica_up", "replica": 1},
+        ],
+        "autoscaler": {
+            "signal": "ttft-ewma",
+            "scale_up_threshold": 0.5,
+            "scale_down_threshold": 0.1,
+            "min_replicas": 2,
+            "max_replicas": 6,
+            "interval_s": 10.0,
+            "cooldown_s": 20.0,
+            "cold_start_s": 15.0,
+            "ewma_alpha": 0.4,
+        },
+        "window_s": 30.0,
+    },
 )
 
 _MISSING = object()
@@ -204,81 +232,73 @@ class SpecRoundTripRule(Rule):
         yield [1, 2]
         yield from pool
 
+    @staticmethod
+    def _is_instance(value: Any) -> bool:
+        return dataclasses.is_dataclass(value) and not isinstance(value, type)
+
+    @classmethod
+    def _is_instance_list(cls, value: Any) -> bool:
+        return (
+            isinstance(value, tuple)
+            and bool(value)
+            and all(cls._is_instance(item) for item in value)
+        )
+
+    def _structured_keys(self, bases: Sequence[Any]) -> set[tuple[str, str]]:
+        """(class, field) pairs holding sub-spec structure on *any* base.
+
+        Such fields are exercised through their sub-fields on the base
+        that populates them, never as scalars -- otherwise ``router:
+        None`` (or ``fleet_events: ()``) on the default base would demand
+        a scalar candidate no validation can accept.
+        """
+        structured: set[tuple[str, str]] = set()
+
+        def collect(obj: Any) -> None:
+            for field in dataclasses.fields(obj):
+                value = getattr(obj, field.name)
+                if self._is_instance(value):
+                    structured.add((type(obj).__name__, field.name))
+                    collect(value)
+                elif self._is_instance_list(value):
+                    structured.add((type(obj).__name__, field.name))
+                    for item in value:
+                        collect(item)
+
+        for base in bases:
+            if base is not None:
+                collect(base)
+        return structured
+
     def _field_sites(
         self, spec_mod: Any, bases: Sequence[Any]
     ) -> Iterator[tuple[str, str, tuple[Any, ...], Any, int]]:
-        """Yield (class_name, field_name, dict_path, default, base_index)."""
-        # Fields that hold sub-spec dataclasses (or the tier list) on any
-        # base are exercised through their sub-fields, not as scalars --
-        # otherwise ``router: None`` on the default base would demand a
-        # scalar candidate no validation can accept.
-        structured: set[str] = set()
-        # Sub-spec fields that themselves hold a dataclass on any base
-        # (e.g. ``RouterSpec.disagg``) are likewise exercised one level
-        # deeper, never as scalars.
-        nested_structured: set[tuple[str, str]] = set()
-        for base in bases:
-            if base is None:
-                continue
-            for field in dataclasses.fields(spec_mod.ExperimentSpec):
-                value = getattr(base, field.name)
-                if field.name == "tiers" or (
-                    dataclasses.is_dataclass(value) and not isinstance(value, type)
-                ):
-                    structured.add(field.name)
-                if dataclasses.is_dataclass(value) and not isinstance(value, type):
-                    for sub_field in dataclasses.fields(value):
-                        sub_value = getattr(value, sub_field.name)
-                        if dataclasses.is_dataclass(sub_value) and not isinstance(
-                            sub_value, type
-                        ):
-                            nested_structured.add((type(value).__name__, sub_field.name))
+        """Yield (class_name, field_name, dict_path, default, base_index).
+
+        Walks each base recursively: sub-spec dataclasses and lists of
+        dataclasses (tiers, bursts, warp phases, fleet events) descend to
+        their leaf fields at any depth; everything else is a scalar site.
+        """
+        structured = self._structured_keys(bases)
+
+        def walk(obj: Any, path: tuple[Any, ...], base_index: int) -> Iterator[
+            tuple[str, str, tuple[Any, ...], Any, int]
+        ]:
+            class_name = type(obj).__name__
+            for field in dataclasses.fields(obj):
+                value = getattr(obj, field.name)
+                if self._is_instance(value):
+                    yield from walk(value, (*path, field.name), base_index)
+                elif self._is_instance_list(value):
+                    for index, item in enumerate(value):
+                        yield from walk(item, (*path, field.name, index), base_index)
+                elif (class_name, field.name) not in structured:
+                    yield (class_name, field.name, (*path, field.name), value, base_index)
+
         for base_index, base in enumerate(bases):
             if base is None:
                 continue
-            for field in dataclasses.fields(spec_mod.ExperimentSpec):
-                value = getattr(base, field.name)
-                if dataclasses.is_dataclass(value) and not isinstance(value, type):
-                    for sub_field in dataclasses.fields(value):
-                        sub_value = getattr(value, sub_field.name)
-                        if (type(value).__name__, sub_field.name) in nested_structured:
-                            if dataclasses.is_dataclass(sub_value) and not isinstance(
-                                sub_value, type
-                            ):
-                                for leaf_field in dataclasses.fields(sub_value):
-                                    yield (
-                                        type(sub_value).__name__,
-                                        leaf_field.name,
-                                        (field.name, sub_field.name, leaf_field.name),
-                                        getattr(sub_value, leaf_field.name),
-                                        base_index,
-                                    )
-                            continue
-                        yield (
-                            type(value).__name__,
-                            sub_field.name,
-                            (field.name, sub_field.name),
-                            sub_value,
-                            base_index,
-                        )
-                elif field.name == "tiers":
-                    for index, tier in enumerate(value):
-                        for sub_field in dataclasses.fields(tier):
-                            yield (
-                                type(tier).__name__,
-                                sub_field.name,
-                                ("tiers", index, sub_field.name),
-                                getattr(tier, sub_field.name),
-                                base_index,
-                            )
-                elif field.name not in structured:
-                    yield (
-                        "ExperimentSpec",
-                        field.name,
-                        (field.name,),
-                        value,
-                        base_index,
-                    )
+            yield from walk(base, (), base_index)
 
     def _check_fields(
         self,

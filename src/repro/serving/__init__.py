@@ -5,6 +5,13 @@ Layering, from the outside in:
 * :mod:`repro.serving.router` -- the data-parallel :class:`ReplicaRouter`
   fronting N engines with pluggable :class:`RoutingPolicy` implementations
   and merged :class:`FleetResult` metrics.
+* :mod:`repro.serving.fleet_events` -- the fleet *timeline*: a
+  :class:`DynamicFleetRouter` whose replica set changes mid-run through
+  scripted failure/recovery events and autoscaler decisions, billing
+  replica-hours and KV lost to failures (:class:`DynamicFleetResult`).
+* :mod:`repro.serving.autoscaler` -- the :class:`ReactiveAutoscaler`
+  threshold controller (queue-depth or estimated-TTFT EWMA signals)
+  driving scale-up/scale-down decisions on the timeline.
 * :mod:`repro.serving.disagg` -- the disaggregated two-pool topology: a
   dedicated :class:`PrefillPool` handing finished KV to a decode fleet
   over a modelled interconnect (:class:`DisaggRouter`).
@@ -36,6 +43,12 @@ from repro.serving.admission import (
     FCFSAdmission,
     PriorityAdmission,
 )
+from repro.serving.autoscaler import (
+    SCALE_DOWN,
+    SCALE_UP,
+    ReactiveAutoscaler,
+    ScalingDecision,
+)
 from repro.serving.disagg import (
     DisaggResult,
     DisaggRouter,
@@ -45,6 +58,12 @@ from repro.serving.disagg import (
 )
 from repro.serving.engine import EngineResult, ServingEngine, serve
 from repro.serving.fast_engine import FastServingEngine
+from repro.serving.fleet_events import (
+    DynamicFleetResult,
+    DynamicFleetRouter,
+    FleetEvent,
+    SegmentRecord,
+)
 from repro.serving.interfaces import (
     CapacityExceeded,
     DecodeSystem,
@@ -61,8 +80,10 @@ from repro.serving.lifecycle import (
     LatencyStats,
     LifecycleTracker,
     RequestRecord,
+    WindowStats,
     percentile,
     percentiles,
+    windowed_stats,
 )
 from repro.serving.preemption import (
     EvictLargest,
@@ -114,6 +135,14 @@ __all__ = [
     "ServingEngine",
     "FastServingEngine",
     "serve",
+    "DynamicFleetResult",
+    "DynamicFleetRouter",
+    "FleetEvent",
+    "SegmentRecord",
+    "SCALE_DOWN",
+    "SCALE_UP",
+    "ReactiveAutoscaler",
+    "ScalingDecision",
     "CapacityExceeded",
     "DecodeSystem",
     "KVAllocator",
@@ -138,8 +167,10 @@ __all__ = [
     "LatencyStats",
     "LifecycleTracker",
     "RequestRecord",
+    "WindowStats",
     "percentile",
     "percentiles",
+    "windowed_stats",
     "LinearPrefillModel",
     "PrefillConfig",
     "PrefillModel",

@@ -30,6 +30,13 @@ final stride -- falls back to the scalar engine's single-evaluation body,
 so preemption storms and prefill interleaving replay the scalar arithmetic
 verbatim.
 
+Arrival timestamps are opaque to the span machinery: the next pending
+arrival is an event point wherever it falls, so traces stamped by any
+arrival process (diurnal, burst, warped replay) and the fleet timeline's
+failure re-dispatches (victims re-arriving mid-run at the failure time)
+need no special handling -- spans simply truncate at those instants, and
+scalar/fast parity holds for dynamic fleets exactly as for static ones.
+
 The scalar engine remains authoritative: ``tests/serving/test_fast_engine.py``
 pins the two engines' full ``RunReport`` output against each other (to
 1e-9, observed exact) on every shipped example spec and on randomized

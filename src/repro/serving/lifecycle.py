@@ -41,6 +41,9 @@ class RequestRecord:
     recompute_tokens: int = 0
     #: Clock of the pending preemption (``nan`` while the request is live).
     preempted_s: float = math.nan
+    #: Times this request was re-dispatched after a replica failure (the
+    #: fleet timeline stamps it; a static fleet never restarts anything).
+    restarts: int = 0
     #: Scheduling priority inherited from the request (tier priority).
     priority: int = 0
     #: SLO-tier name the request belongs to (``None`` means untiered).
@@ -192,6 +195,76 @@ class LatencyStats:
             latency_p95_s=latency_p95,
             latency_p99_s=latency_p99,
         )
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Per-interval serving metrics of one wall-clock window.
+
+    Windows bucket requests by *arrival* time (a request arriving exactly
+    on a boundary belongs to the later window), so a window's attainment
+    answers "of the traffic that arrived in this interval, how much met
+    its SLO?" -- the question a capacity planner asks of a diurnal day.
+
+    ``ttft_attainment`` / ``tpot_attainment`` / ``goodput_fraction`` are
+    fractions of the window's *arrivals* (an unserved request counts
+    against its window); they are 1.0 for an empty window (vacuous SLO).
+    """
+
+    start_s: float
+    end_s: float
+    arrivals: int
+    finished: int
+    goodput_requests: int
+    ttft_attained: int
+    tpot_attained: int
+    latency: LatencyStats
+
+    @property
+    def ttft_attainment(self) -> float:
+        return self.ttft_attained / self.arrivals if self.arrivals else 1.0
+
+    @property
+    def tpot_attainment(self) -> float:
+        return self.tpot_attained / self.arrivals if self.arrivals else 1.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        return self.goodput_requests / self.arrivals if self.arrivals else 1.0
+
+
+def windowed_stats(records: Sequence[RequestRecord], window_s: float) -> tuple[WindowStats, ...]:
+    """Bucket ``records`` into contiguous ``window_s``-wide arrival windows.
+
+    Returns one :class:`WindowStats` per window from time 0 through the
+    last arrival, *including* empty windows in between (a quiet interval
+    is data, not a gap).  With every record inside one window, that
+    window's :class:`LatencyStats` equal ``LatencyStats.from_records`` on
+    the whole run.
+    """
+    if not (window_s > 0 and math.isfinite(window_s)):
+        raise ValueError("window_s must be positive and finite")
+    if not records:
+        return ()
+    buckets: dict[int, list[RequestRecord]] = {}
+    for record in records:
+        buckets.setdefault(int(record.arrival_s // window_s), []).append(record)
+    windows = []
+    for index in range(max(buckets) + 1):
+        members = buckets.get(index, [])
+        windows.append(
+            WindowStats(
+                start_s=index * window_s,
+                end_s=(index + 1) * window_s,
+                arrivals=len(members),
+                finished=sum(1 for record in members if record.finished),
+                goodput_requests=sum(1 for record in members if record.slo_ok),
+                ttft_attained=sum(1 for record in members if record.ttft_ok),
+                tpot_attained=sum(1 for record in members if record.tpot_ok),
+                latency=LatencyStats.from_records(members),
+            )
+        )
+    return tuple(windows)
 
 
 @dataclass

@@ -83,6 +83,12 @@ class ReplicaState:
             probe = max(1, min(probe_context_tokens, self.system.max_context_tokens))
             est_step_s = self.system.decode_step([probe]).seconds
         self.est_step_s = est_step_s
+        #: Whether the replica takes new work.  The fleet timeline clears
+        #: this on failure or drain; every routing policy must skip
+        #: non-accepting replicas, and :meth:`ReplicaRouter.dispatch`
+        #: enforces it, so dispatching to a downed replica is impossible
+        #: by construction.
+        self.accepting = True
         self.outstanding = 0
         self.reserved_tokens = 0
         self._completions: list[tuple[float, int]] = []
@@ -135,6 +141,15 @@ class ReplicaState:
             self.outstanding -= 1
             self.reserved_tokens -= tokens
 
+    def in_flight(self) -> dict[int, int]:
+        """Estimated in-flight requests as ``{request_id: reserved tokens}``.
+
+        The fleet timeline reads this at a ``replica_down`` event to pick
+        the failure's victims (and charge their reserved KV as lost) on
+        the same estimated view dispatch uses.
+        """
+        return {request_id: tokens for request_id, (tokens, _) in self._assigned.items()}
+
 
 @runtime_checkable
 class RoutingPolicy(Protocol):
@@ -148,7 +163,12 @@ class RoutingPolicy(Protocol):
         ...
 
     def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
-        """Return the replica index for ``request`` or ``None`` to drop it."""
+        """Return the replica index for ``request`` or ``None`` to drop it.
+
+        Policies must never return a replica whose
+        :attr:`ReplicaState.accepting` is cleared (downed or draining);
+        with no accepting replica they return ``None``.
+        """
         ...
 
 
@@ -164,9 +184,14 @@ class RoundRobinRouting:
         self._next = 0
 
     def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
-        choice = self._next % len(replicas)
-        self._next += 1
-        return choice
+        # One full cycle at most: skip non-accepting replicas without ever
+        # revisiting a slot, so a fleet with none accepting returns None.
+        for _ in range(len(replicas)):
+            choice = self._next % len(replicas)
+            self._next += 1
+            if replicas[choice].accepting:
+                return choice
+        return None
 
 
 class LeastOutstandingRouting:
@@ -186,8 +211,11 @@ class LeastOutstandingRouting:
         pass
 
     def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
+        accepting = [state for state in replicas if state.accepting]
+        if not accepting:
+            return None
         best = min(
-            replicas,
+            accepting,
             key=lambda state: (state.outstanding * state.est_step_s, state.index),
         )
         return best.index
@@ -215,10 +243,11 @@ class CapacityAwareRouting:
         return (state.reserved_tokens, state.outstanding, state.index)
 
     def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
-        admitting = [state for state in replicas if state.can_admit(request)]
+        accepting = [state for state in replicas if state.accepting]
+        admitting = [state for state in accepting if state.can_admit(request)]
         if admitting:
             return min(admitting, key=self._load_key).index
-        eventual = [state for state in replicas if state.could_ever_admit(request)]
+        eventual = [state for state in accepting if state.could_ever_admit(request)]
         if eventual:
             return min(eventual, key=self._load_key).index
         return None
@@ -242,7 +271,9 @@ class KVBalancedRouting:
         pass
 
     def select(self, request: Request, replicas: Sequence[ReplicaState]) -> int | None:
-        eligible = [state for state in replicas if state.could_ever_admit(request)]
+        eligible = [
+            state for state in replicas if state.accepting and state.could_ever_admit(request)
+        ]
         if not eligible:
             return None
         best = min(
@@ -275,8 +306,10 @@ class SessionAffinityRouting:
         if request.session is None:
             return self.fallback.select(request, replicas)
         pinned = self._sessions.get(request.session)
-        if pinned is not None and pinned < len(replicas):
+        if pinned is not None and pinned < len(replicas) and replicas[pinned].accepting:
             return pinned
+        # Pinned replica gone (downed or draining): re-pin the session via
+        # the fallback -- the prefix is lost, which is the cost of failure.
         choice = self.fallback.select(request, replicas)
         if choice is not None:
             self._sessions[request.session] = choice
@@ -522,6 +555,12 @@ class ReplicaRouter:
                 raise ValueError(
                     f"policy {self.policy.name!r} chose replica {choice} for request "
                     f"{request.request_id}; fleet has {len(states)} replicas"
+                )
+            if not states[choice].accepting:
+                raise ValueError(
+                    f"policy {self.policy.name!r} chose non-accepting replica "
+                    f"{choice} for request {request.request_id}; downed or "
+                    "draining replicas must be skipped"
                 )
             states[choice].assign(request, arrival_s)
             assignments[position] = choice

@@ -4,10 +4,13 @@ from repro.workloads.datasets import DatasetStats, get_dataset, list_datasets
 from repro.workloads.traces import (
     Request,
     RequestTrace,
+    burst_arrivals,
+    diurnal_arrivals,
     generate_trace,
     multi_turn_trace,
     poisson_arrivals,
     replay_arrivals,
+    warped_replay_arrivals,
 )
 
 __all__ = [
@@ -16,8 +19,11 @@ __all__ = [
     "list_datasets",
     "Request",
     "RequestTrace",
+    "burst_arrivals",
+    "diurnal_arrivals",
     "generate_trace",
     "multi_turn_trace",
     "poisson_arrivals",
     "replay_arrivals",
+    "warped_replay_arrivals",
 ]

@@ -10,11 +10,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.api.registry import register_trace
+from repro.api.registry import register_arrival_process, register_trace
 from repro.workloads.datasets import DatasetStats, get_dataset
 
 if TYPE_CHECKING:
-    from repro.api.spec import TierSpec, TraceSpec
+    from collections.abc import Callable
+
+    from repro.api.spec import ArrivalSpec, TierSpec, TraceSpec
 
 
 @dataclass(frozen=True)
@@ -213,7 +215,11 @@ def poisson_arrivals(trace: RequestTrace, rate_rps: float, seed: int = 0) -> Req
     # Exponential gaps are non-negative, so the cumulative times are sorted
     # and only the final (largest) one can have overflowed to infinity.
     if times.size and not np.isfinite(times[-1]):
-        raise ValueError("arrival_s must be finite and non-negative")
+        raise ValueError(
+            "arrival_s must be finite and non-negative; request index "
+            f"{times.size - 1} overflowed to {float(times[-1])!r} at "
+            f"rate_rps={rate_rps!r}"
+        )
     requests = tuple(
         _with_fields(request, arrival_s=arrival_s)
         for request, arrival_s in zip(trace.requests, times.tolist(), strict=True)
@@ -221,30 +227,264 @@ def poisson_arrivals(trace: RequestTrace, rate_rps: float, seed: int = 0) -> Req
     return RequestTrace(dataset=trace.dataset, requests=requests)
 
 
-def replay_arrivals(trace: RequestTrace, arrival_times: Sequence[float]) -> RequestTrace:
+def _checked_replay_times(
+    trace: RequestTrace, arrival_times: Sequence[float], monotonic: bool
+) -> np.ndarray:
+    """Validate replayed timestamps, naming the offending index and value."""
+    if len(arrival_times) != len(trace.requests):
+        raise ValueError(
+            f"expected {len(trace.requests)} arrival times, got {len(arrival_times)}"
+        )
+    times = np.asarray([float(arrival_s) for arrival_s in arrival_times], dtype=np.float64)
+    if times.size:
+        bad = np.flatnonzero(~(np.isfinite(times) & (times >= 0)))
+        if bad.size:
+            index = int(bad[0])
+            raise ValueError(
+                "arrival_s must be finite and non-negative; "
+                f"arrival_times[{index}] is {float(times[index])!r}"
+            )
+    if monotonic and times.size > 1:
+        drops = np.flatnonzero(np.diff(times) < 0)
+        if drops.size:
+            index = int(drops[0]) + 1
+            raise ValueError(
+                "replay arrival_times must be non-decreasing; "
+                f"arrival_times[{index}] ({float(times[index])!r}) precedes "
+                f"arrival_times[{index - 1}] ({float(times[index - 1])!r}); "
+                "pass monotonic=False to replay out-of-order timestamps"
+            )
+    return times
+
+
+def replay_arrivals(
+    trace: RequestTrace,
+    arrival_times: Sequence[float],
+    *,
+    monotonic: bool = True,
+) -> RequestTrace:
     """Attach explicit (replayed) arrival timestamps to a trace.
 
     Args:
         trace: Trace whose requests receive the timestamps, positionally.
         arrival_times: One non-negative arrival time per request, e.g.
             replayed from a production log.
+        monotonic: Require non-decreasing timestamps (the normal shape of a
+            production log).  Pass ``False`` to replay deliberately
+            out-of-order arrivals, e.g. to exercise the engine's
+            admission-by-arrival-time ordering.
 
     Returns:
         A new :class:`RequestTrace` with the given arrival times.
     """
-    if len(arrival_times) != len(trace.requests):
-        raise ValueError(
-            f"expected {len(trace.requests)} arrival times, got {len(arrival_times)}"
-        )
-    times = [float(arrival_time_s) for arrival_time_s in arrival_times]
-    checked = np.asarray(times)
-    if checked.size and not (np.isfinite(checked).all() and (checked >= 0).all()):
-        raise ValueError("arrival_s must be finite and non-negative")
+    times = _checked_replay_times(trace, arrival_times, monotonic)
     requests = tuple(
         _with_fields(request, arrival_s=arrival_s)
-        for request, arrival_s in zip(trace.requests, times, strict=True)
+        for request, arrival_s in zip(trace.requests, times.tolist(), strict=True)
     )
     return RequestTrace(dataset=trace.dataset, requests=requests)
+
+
+def _thinned_arrivals(
+    trace: RequestTrace,
+    rate_fn: "Callable[[np.ndarray], np.ndarray]",
+    rate_max_rps: float,
+    seed: int,
+) -> RequestTrace:
+    """Attach arrivals from a non-homogeneous Poisson process via thinning.
+
+    Lewis-Shedler thinning, batch-vectorized: candidate arrivals are drawn
+    from a homogeneous process at ``rate_max_rps`` and each is accepted
+    with probability ``rate_fn(t) / rate_max_rps``.  When a chunk yields
+    more acceptances than still needed, the prefix is taken; otherwise the
+    homogeneous process continues from the last *candidate* (accepted or
+    not), which is exact because the candidate stream is memoryless.
+    Amortized O(n) in the trace length for any rate function bounded away
+    from zero on average.
+    """
+    needed = len(trace.requests)
+    rng = np.random.default_rng(seed)
+    accepted: list[np.ndarray] = []
+    count = 0
+    start_s = 0.0
+    # Oversample so traces with healthy acceptance ratios finish in one or
+    # two draws; pathological ratios just loop more chunks.
+    chunk = max(256, 2 * needed)
+    while count < needed:
+        gaps = rng.exponential(1.0 / rate_max_rps, size=chunk)
+        candidates = start_s + np.cumsum(gaps)
+        if not np.isfinite(candidates[-1]):
+            raise ValueError(
+                "arrival_s must be finite and non-negative; request index "
+                f"{count} overflowed past {start_s!r} at "
+                f"rate_max_rps={rate_max_rps!r}"
+            )
+        rates = np.asarray(rate_fn(candidates), dtype=np.float64)
+        keep = candidates[rng.random(chunk) * rate_max_rps < rates]
+        accepted.append(keep)
+        count += keep.size
+        start_s = float(candidates[-1])
+    times = np.concatenate(accepted)[:needed] if accepted else np.empty(0)
+    requests = tuple(
+        _with_fields(request, arrival_s=arrival_s)
+        for request, arrival_s in zip(trace.requests, times.tolist(), strict=True)
+    )
+    return RequestTrace(dataset=trace.dataset, requests=requests)
+
+
+def diurnal_arrivals(
+    trace: RequestTrace,
+    base_rate_rps: float,
+    period_s: float,
+    amplitude: float = 0.5,
+    phase_s: float = 0.0,
+    seed: int = 0,
+) -> RequestTrace:
+    """Attach arrivals from a sinusoidally-modulated Poisson process.
+
+    The instantaneous rate is::
+
+        rate(t) = base_rate_rps * (1 + amplitude * sin(2*pi*(t - phase_s) / period_s))
+
+    which models diurnal traffic: a day-scale ``period_s`` swings the load
+    between ``base * (1 - amplitude)`` (trough) and ``base * (1 + amplitude)``
+    (peak), a peak-to-trough ratio of ``(1 + a) / (1 - a)``.  Sampled by
+    thinning (see :func:`_thinned_arrivals`), seeded and O(n).
+
+    Args:
+        trace: Trace whose requests receive arrival timestamps (in order).
+        base_rate_rps: Mean arrival rate in requests per second (positive).
+        period_s: Oscillation period in seconds (positive).
+        amplitude: Relative swing in ``[0, 1]``; ``0`` degenerates to a
+            homogeneous Poisson process at ``base_rate_rps``.
+        phase_s: Time offset of the sinusoid; ``phase_s = period_s / 4``
+            starts the trace at the trough.
+        seed: Random seed (arrival processes are reproducible).
+
+    Returns:
+        A new :class:`RequestTrace` with monotonically increasing arrivals.
+    """
+    if base_rate_rps <= 0:
+        raise ValueError("base_rate_rps must be positive")
+    if period_s <= 0 or not math.isfinite(period_s):
+        raise ValueError("period_s must be positive and finite")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError(f"amplitude must lie in [0, 1], got {amplitude!r}")
+    if not math.isfinite(phase_s):
+        raise ValueError("phase_s must be finite")
+    omega = 2.0 * math.pi / period_s
+
+    def rate(times: np.ndarray) -> np.ndarray:
+        return base_rate_rps * (1.0 + amplitude * np.sin(omega * (times - phase_s)))
+
+    rate_max = base_rate_rps * (1.0 + amplitude)
+    return _thinned_arrivals(trace, rate, rate_max, seed)
+
+
+def burst_arrivals(
+    trace: RequestTrace,
+    base_rate_rps: float,
+    bursts: Sequence[tuple[float, float, float]],
+    seed: int = 0,
+) -> RequestTrace:
+    """Attach arrivals from a Poisson process with flash-crowd windows.
+
+    The rate is ``base_rate_rps`` everywhere except inside each burst
+    window ``(start_s, duration_s, multiplier)``, where it becomes
+    ``base_rate_rps * multiplier``.  Windows must not overlap.  Sampled by
+    thinning (see :func:`_thinned_arrivals`), seeded and O(n).
+
+    Args:
+        trace: Trace whose requests receive arrival timestamps (in order).
+        base_rate_rps: Baseline arrival rate in requests per second.
+        bursts: ``(start_s, duration_s, multiplier)`` windows; a
+            ``multiplier`` above 1 is a flash crowd, below 1 a lull.
+        seed: Random seed (arrival processes are reproducible).
+
+    Returns:
+        A new :class:`RequestTrace` with monotonically increasing arrivals.
+    """
+    if base_rate_rps <= 0:
+        raise ValueError("base_rate_rps must be positive")
+    windows = []
+    for index, (start_s, duration_s, multiplier) in enumerate(bursts):
+        if not math.isfinite(start_s) or start_s < 0:
+            raise ValueError(f"bursts[{index}].start_s must be finite and non-negative")
+        if not math.isfinite(duration_s) or duration_s <= 0:
+            raise ValueError(f"bursts[{index}].duration_s must be positive and finite")
+        if not math.isfinite(multiplier) or multiplier <= 0:
+            raise ValueError(f"bursts[{index}].multiplier must be positive and finite")
+        windows.append((float(start_s), float(duration_s), float(multiplier)))
+    windows.sort()
+    for (start_a, duration_a, _), (start_b, _, _) in zip(windows, windows[1:], strict=False):
+        if start_b < start_a + duration_a:
+            raise ValueError(
+                f"burst windows overlap: window starting at {start_b!r} begins "
+                f"before the window at {start_a!r} ends ({start_a + duration_a!r})"
+            )
+
+    def rate(times: np.ndarray) -> np.ndarray:
+        multipliers = np.ones_like(times)
+        for start_s, duration_s, multiplier in windows:
+            multipliers[(times >= start_s) & (times < start_s + duration_s)] = multiplier
+        return base_rate_rps * multipliers
+
+    peak = max((multiplier for _, _, multiplier in windows), default=1.0)
+    rate_max = base_rate_rps * max(1.0, peak)
+    return _thinned_arrivals(trace, rate, rate_max, seed)
+
+
+def warped_replay_arrivals(
+    trace: RequestTrace,
+    arrival_times: Sequence[float],
+    phases: Sequence[tuple[float, float]],
+) -> RequestTrace:
+    """Replay timestamps through a piecewise time-dilation profile.
+
+    Each phase ``(start_s, factor)`` applies from its start (on the
+    *source* timeline) until the next phase begins: a source interval of
+    length ``dt`` inside a phase maps to ``dt * factor`` of simulated
+    time.  Factors above 1 stretch the log (lower load), below 1 compress
+    it (higher load) -- the standard way to rescale a production trace to
+    a what-if intensity without resampling it.  The warp
+    ``W(t)`` is piecewise linear, so the mapping is exact and O(n).
+
+    Args:
+        trace: Trace whose requests receive the warped timestamps.
+        arrival_times: One non-negative, non-decreasing source timestamp
+            per request (replayed logs are monotonic by construction).
+        phases: ``(start_s, factor)`` breakpoints with strictly increasing
+            starts; a phase starting after 0 implies factor 1 before it.
+
+    Returns:
+        A new :class:`RequestTrace` with the warped arrival times.
+    """
+    if not phases:
+        raise ValueError("phases must be non-empty; use replay_arrivals for an unwarped replay")
+    cleaned = []
+    for index, (start_s, factor) in enumerate(phases):
+        if not math.isfinite(start_s) or start_s < 0:
+            raise ValueError(f"phases[{index}].start_s must be finite and non-negative")
+        if not math.isfinite(factor) or factor <= 0:
+            raise ValueError(f"phases[{index}].factor must be positive and finite")
+        cleaned.append((float(start_s), float(factor)))
+    for (start_a, _), (start_b, _) in zip(cleaned, cleaned[1:], strict=False):
+        if start_b <= start_a:
+            raise ValueError(
+                f"phase starts must be strictly increasing, got {start_b!r} "
+                f"after {start_a!r}"
+            )
+    if cleaned[0][0] > 0.0:
+        cleaned.insert(0, (0.0, 1.0))
+    times = _checked_replay_times(trace, arrival_times, monotonic=True)
+    starts = np.asarray([start_s for start_s, _ in cleaned])
+    factors = np.asarray([factor for _, factor in cleaned])
+    # Warped time at each phase start: cumulative sum of fully-elapsed
+    # phase spans, each scaled by its own factor.
+    warped_starts = np.concatenate(([0.0], np.cumsum(np.diff(starts) * factors[:-1])))
+    slots = np.searchsorted(starts, times, side="right") - 1
+    warped = warped_starts[slots] + (times - starts[slots]) * factors[slots]
+    return replay_arrivals(trace, warped.tolist())
 
 
 def assign_sessions(trace: RequestTrace, session_ids: Sequence[int | None]) -> RequestTrace:
@@ -620,3 +860,61 @@ def _multi_turn_source(spec: TraceSpec, context_window: int, seed: int) -> Reque
 register_trace("dataset", _dataset_trace)
 register_trace("synthetic", _synthetic_trace)
 register_trace("multi-turn", _multi_turn_source)
+
+
+# -- arrival processes for the declarative experiment API ---------------------
+#
+# Registered factories take (trace, spec: ArrivalSpec, seed) and return the
+# trace with arrival timestamps attached.  They are thin adapters over the
+# helpers above, so spec-driven arrivals stay equivalence-pinned against
+# direct helper calls with the same derived seed.
+
+
+def _poisson_process(trace: RequestTrace, spec: ArrivalSpec, seed: int) -> RequestTrace:
+    """Homogeneous Poisson arrivals at ``spec.rate_rps``."""
+    return poisson_arrivals(trace, spec.rate_rps, seed=seed)
+
+
+def _replay_process(trace: RequestTrace, spec: ArrivalSpec, seed: int) -> RequestTrace:
+    """Explicit timestamps from ``spec.times`` (monotonic, one per request)."""
+    del seed  # replay is deterministic
+    return replay_arrivals(trace, spec.times or ())
+
+
+def _diurnal_process(trace: RequestTrace, spec: ArrivalSpec, seed: int) -> RequestTrace:
+    """Sinusoidally-modulated Poisson arrivals (diurnal load)."""
+    return diurnal_arrivals(
+        trace,
+        base_rate_rps=spec.rate_rps,
+        period_s=spec.period_s,
+        amplitude=spec.amplitude,
+        phase_s=spec.phase_s,
+        seed=seed,
+    )
+
+
+def _burst_process(trace: RequestTrace, spec: ArrivalSpec, seed: int) -> RequestTrace:
+    """Poisson arrivals with flash-crowd multiplier windows."""
+    return burst_arrivals(
+        trace,
+        base_rate_rps=spec.rate_rps,
+        bursts=[(burst.start_s, burst.duration_s, burst.multiplier) for burst in spec.bursts],
+        seed=seed,
+    )
+
+
+def _warped_replay_process(trace: RequestTrace, spec: ArrivalSpec, seed: int) -> RequestTrace:
+    """Replayed timestamps passed through a piecewise time-dilation profile."""
+    del seed  # warped replay is deterministic
+    return warped_replay_arrivals(
+        trace,
+        spec.times or (),
+        phases=[(phase.start_s, phase.factor) for phase in spec.warp],
+    )
+
+
+register_arrival_process("poisson", _poisson_process)
+register_arrival_process("replay", _replay_process)
+register_arrival_process("diurnal", _diurnal_process)
+register_arrival_process("burst", _burst_process)
+register_arrival_process("trace-warped", _warped_replay_process)

@@ -175,7 +175,7 @@ class TestArrivalProcesses:
     def test_arrival_order_overrides_trace_order(self, llm_7b):
         trace = make_trace(llm_7b, requests=3, output=4)
         # Request 2 arrives first; under FCFS it must be admitted first.
-        replayed = replay_arrivals(trace, [50.0, 60.0, 0.0])
+        replayed = replay_arrivals(trace, [50.0, 60.0, 0.0], monotonic=False)
         system = cent_system_config(llm_7b, pimphony=PIMphonyConfig.full())
         engine = ServingEngine(system=system, admission=FCFSAdmission(), step_stride=2)
         result = engine.run(replayed)

@@ -8,8 +8,10 @@ from repro.serving import (
     CapacityAwareAdmission,
     CapacityAwareRouting,
     FleetResult,
+    KVBalancedRouting,
     LeastOutstandingRouting,
     ReplicaRouter,
+    ReplicaState,
     RoundRobinRouting,
     ServingEngine,
     SessionAffinityRouting,
@@ -298,3 +300,89 @@ class TestTracePartitioning:
         assignments = router.dispatch(shuffled)
         # Round-robin order follows arrival time, not trace position.
         assert assignments == [2, 0, 1]
+
+
+class TestAcceptingContract:
+    """Dispatching to a downed or draining replica is impossible by design.
+
+    The fleet timeline (:mod:`repro.serving.fleet_events`) clears
+    ``ReplicaState.accepting`` on failure or drain; every policy must
+    skip those replicas, and ``dispatch`` enforces the contract even
+    against a misbehaving policy.
+    """
+
+    @staticmethod
+    def _states(n=3, down=()):
+        states = [ReplicaState(index, toy_engine()) for index in range(n)]
+        for index in down:
+            states[index].accepting = False
+        return states
+
+    def _policies(self):
+        return [
+            RoundRobinRouting(),
+            LeastOutstandingRouting(),
+            CapacityAwareRouting(),
+            KVBalancedRouting(),
+            SessionAffinityRouting(),
+        ]
+
+    def test_every_policy_skips_non_accepting_replicas(self):
+        request = make_trace(num_requests=1).requests[0]
+        for policy in self._policies():
+            policy.reset()
+            states = self._states(down=[1])
+            for _ in range(6):  # cycle round-robin past the downed slot
+                choice = policy.select(request, states)
+                assert choice is not None and choice != 1, policy.name
+
+    def test_every_policy_returns_none_when_none_accepting(self):
+        request = make_trace(num_requests=1).requests[0]
+        for policy in self._policies():
+            policy.reset()
+            states = self._states(down=[0, 1, 2])
+            assert policy.select(request, states) is None, policy.name
+
+    def test_dispatch_rejects_non_accepting_choice(self):
+        class SabotagePolicy:
+            """Clears a replica's accepting flag, then selects it anyway."""
+
+            name = "sabotage"
+
+            def reset(self):
+                pass
+
+            def select(self, request, replicas):
+                replicas[0].accepting = False
+                return 0
+
+        router = ReplicaRouter(
+            replicas=[toy_engine(), toy_engine()], policy=SabotagePolicy()
+        )
+        with pytest.raises(ValueError, match="non-accepting"):
+            router.dispatch(make_trace(num_requests=1))
+
+    def test_session_affinity_repins_when_pinned_replica_downed(self):
+        policy = SessionAffinityRouting()
+        policy.reset()
+        states = self._states(n=2)
+        request = replace(make_trace(num_requests=1).requests[0], session=7)
+        first = policy.select(request, states)
+        assert first is not None
+        states[first].accepting = False
+        second = policy.select(request, states)
+        assert second is not None and second != first
+        # The session is re-pinned: once the new home is chosen, it sticks.
+        assert policy.select(request, states) == second
+
+    def test_in_flight_view_tracks_assignments(self):
+        state = ReplicaState(0, toy_engine())
+        requests = make_trace(num_requests=3).requests
+        for request in requests:
+            state.assign(request, 0.0)
+        view = state.in_flight()
+        assert set(view) == {0, 1, 2}
+        assert all(tokens > 0 for tokens in view.values())
+        # Draining past the estimated completions empties the view.
+        state.drain(1e9)
+        assert state.in_flight() == {}

@@ -1,0 +1,204 @@
+"""Tests for the time-varying arrival processes (diurnal / burst / warp)."""
+
+from itertools import pairwise
+
+import numpy as np
+import pytest
+
+from repro.api.registry import ARRIVAL_PROCESSES
+from repro.api.spec import ArrivalSpec, BurstSpec, WarpPhaseSpec
+from repro.workloads.datasets import get_dataset
+from repro.workloads.traces import (
+    burst_arrivals,
+    diurnal_arrivals,
+    generate_trace,
+    poisson_arrivals,
+    warped_replay_arrivals,
+)
+
+
+def _trace(n: int, seed: int = 0):
+    return generate_trace(get_dataset("qmsum"), n, seed=seed)
+
+
+def _arrivals_in(times, start: float, end: float) -> int:
+    return sum(1 for t in times if start <= t < end)
+
+
+class TestDiurnalArrivals:
+    def test_deterministic_and_increasing(self):
+        trace = _trace(64)
+        a = diurnal_arrivals(trace, 5.0, period_s=20.0, amplitude=0.5, seed=9)
+        b = diurnal_arrivals(trace, 5.0, period_s=20.0, amplitude=0.5, seed=9)
+        assert a.arrival_times == b.arrival_times
+        assert all(later > earlier for earlier, later in pairwise(a.arrival_times))
+
+    def test_seed_changes_times(self):
+        trace = _trace(64)
+        a = diurnal_arrivals(trace, 5.0, period_s=20.0, seed=1)
+        b = diurnal_arrivals(trace, 5.0, period_s=20.0, seed=2)
+        assert a.arrival_times != b.arrival_times
+
+    def test_zero_amplitude_matches_poisson_rate(self):
+        # amplitude 0 is a homogeneous process: the mean gap must track
+        # 1/rate like the plain Poisson helper does.
+        trace = _trace(4000)
+        timed = diurnal_arrivals(trace, 10.0, period_s=100.0, amplitude=0.0, seed=5)
+        mean_gap = timed.last_arrival_s / len(timed)
+        assert mean_gap == pytest.approx(0.1, rel=0.1)
+
+    def test_peak_windows_denser_than_trough_windows(self):
+        # period 40, phase 0: rate peaks at t = 10 (sin max) and troughs
+        # at t = 30 within each cycle.  Count arrivals near peaks vs
+        # troughs over many cycles.
+        trace = _trace(6000)
+        timed = diurnal_arrivals(trace, 10.0, period_s=40.0, amplitude=0.8, seed=3)
+        times = timed.arrival_times
+        peak = trough = 0
+        horizon = times[-1]
+        cycle = 0
+        while cycle * 40.0 + 40.0 <= horizon:
+            start = cycle * 40.0
+            peak += _arrivals_in(times, start + 5.0, start + 15.0)
+            trough += _arrivals_in(times, start + 25.0, start + 35.0)
+            cycle += 1
+        assert peak > 2 * trough
+
+    def test_amplitude_bounds_enforced(self):
+        trace = _trace(4)
+        with pytest.raises(ValueError, match="amplitude"):
+            diurnal_arrivals(trace, 5.0, period_s=10.0, amplitude=1.5)
+        with pytest.raises(ValueError, match="period_s"):
+            diurnal_arrivals(trace, 5.0, period_s=0.0)
+
+
+class TestBurstArrivals:
+    def test_deterministic(self):
+        trace = _trace(64)
+        bursts = [(2.0, 1.0, 5.0)]
+        a = burst_arrivals(trace, 5.0, bursts, seed=4)
+        b = burst_arrivals(trace, 5.0, bursts, seed=4)
+        assert a.arrival_times == b.arrival_times
+
+    def test_burst_window_is_denser(self):
+        trace = _trace(4000)
+        timed = burst_arrivals(trace, 5.0, [(10.0, 10.0, 8.0)], seed=2)
+        times = timed.arrival_times
+        inside = _arrivals_in(times, 10.0, 20.0)
+        before = _arrivals_in(times, 0.0, 10.0)
+        assert inside > 4 * before
+
+    def test_no_bursts_matches_plain_rate(self):
+        trace = _trace(3000)
+        timed = burst_arrivals(trace, 10.0, [], seed=5)
+        mean_gap = timed.last_arrival_s / len(timed)
+        assert mean_gap == pytest.approx(0.1, rel=0.1)
+
+    def test_overlapping_bursts_rejected(self):
+        trace = _trace(4)
+        with pytest.raises(ValueError, match="overlap"):
+            burst_arrivals(trace, 5.0, [(0.0, 5.0, 2.0), (3.0, 5.0, 3.0)])
+
+
+class TestWarpedReplayArrivals:
+    def test_identity_warp_is_replay(self):
+        trace = _trace(5)
+        times = [0.5, 1.0, 2.0, 2.5, 4.0]
+        warped = warped_replay_arrivals(trace, times, [(0.0, 1.0)])
+        assert warped.arrival_times == pytest.approx(times)
+
+    def test_uniform_dilation_scales_gaps(self):
+        trace = _trace(4)
+        times = [0.0, 1.0, 2.0, 3.0]
+        warped = warped_replay_arrivals(trace, times, [(0.0, 2.0)])
+        assert warped.arrival_times == pytest.approx([0.0, 2.0, 4.0, 6.0])
+
+    def test_piecewise_phases_compress_their_span_only(self):
+        trace = _trace(4)
+        times = [0.0, 1.0, 2.0, 3.0]
+        # Halve time after t=2: gaps before the breakpoint are unchanged,
+        # the final gap shrinks to 0.5.
+        warped = warped_replay_arrivals(trace, times, [(0.0, 1.0), (2.0, 0.5)])
+        assert warped.arrival_times == pytest.approx([0.0, 1.0, 2.0, 2.5])
+
+    def test_implicit_leading_phase(self):
+        trace = _trace(3)
+        warped = warped_replay_arrivals(trace, [0.0, 1.0, 2.0], [(1.0, 3.0)])
+        # Unit factor up to t=1, then 3x dilation.
+        assert warped.arrival_times == pytest.approx([0.0, 1.0, 4.0])
+
+    def test_invalid_phases_rejected(self):
+        trace = _trace(2)
+        with pytest.raises(ValueError, match="increasing"):
+            warped_replay_arrivals(trace, [0.0, 1.0], [(1.0, 1.0), (1.0, 2.0)])
+        with pytest.raises(ValueError, match="factor"):
+            warped_replay_arrivals(trace, [0.0, 1.0], [(0.0, 0.0)])
+
+
+class TestArrivalProcessRegistry:
+    def test_all_processes_registered(self):
+        names = set(ARRIVAL_PROCESSES.names())
+        assert {"poisson", "replay", "diurnal", "burst", "trace-warped"} <= names
+
+    def test_poisson_process_matches_helper(self):
+        trace = _trace(64)
+        spec = ArrivalSpec(process="poisson", rate_rps=5.0)
+        via_registry = ARRIVAL_PROCESSES.get("poisson")(trace, spec, 11)
+        direct = poisson_arrivals(trace, 5.0, seed=11)
+        assert via_registry.arrival_times == direct.arrival_times
+
+    def test_diurnal_process_matches_helper(self):
+        trace = _trace(64)
+        spec = ArrivalSpec(
+            process="diurnal", rate_rps=5.0, period_s=30.0, amplitude=0.4, phase_s=2.0
+        )
+        via_registry = ARRIVAL_PROCESSES.get("diurnal")(trace, spec, 7)
+        direct = diurnal_arrivals(
+            trace, 5.0, period_s=30.0, amplitude=0.4, phase_s=2.0, seed=7
+        )
+        assert via_registry.arrival_times == direct.arrival_times
+
+    def test_burst_process_matches_helper(self):
+        trace = _trace(64)
+        spec = ArrivalSpec(
+            process="burst",
+            rate_rps=5.0,
+            bursts=(BurstSpec(start_s=1.0, duration_s=2.0, multiplier=4.0),),
+        )
+        via_registry = ARRIVAL_PROCESSES.get("burst")(trace, spec, 13)
+        direct = burst_arrivals(trace, 5.0, [(1.0, 2.0, 4.0)], seed=13)
+        assert via_registry.arrival_times == direct.arrival_times
+
+    def test_warped_process_matches_helper(self):
+        trace = _trace(3)
+        spec = ArrivalSpec(
+            process="trace-warped",
+            times=(0.0, 1.0, 2.0),
+            warp=(WarpPhaseSpec(start_s=1.0, factor=2.0),),
+        )
+        via_registry = ARRIVAL_PROCESSES.get("trace-warped")(trace, spec, 99)
+        direct = warped_replay_arrivals(trace, [0.0, 1.0, 2.0], [(1.0, 2.0)])
+        assert via_registry.arrival_times == direct.arrival_times
+
+    def test_processes_are_linear_enough(self):
+        # O(n) guard: thinning must not quadratically resample.
+        import time
+
+        trace_small = _trace(2000)
+        trace_large = _trace(20000, seed=1)
+        start = time.perf_counter()
+        diurnal_arrivals(trace_small, 50.0, period_s=10.0, seed=0)
+        small = time.perf_counter() - start
+        start = time.perf_counter()
+        diurnal_arrivals(trace_large, 50.0, period_s=10.0, seed=0)
+        large = time.perf_counter() - start
+        # 10x the requests should cost well under 100x the time; the bound
+        # is loose to stay robust on noisy CI boxes.
+        assert large < max(50 * small, 0.5)
+
+    def test_warp_accepts_numpy_times(self):
+        trace = _trace(3)
+        warped = warped_replay_arrivals(
+            trace, np.asarray([0.0, 1.0, 2.0]), [(0.0, 1.0)]
+        )
+        assert warped.arrival_times == pytest.approx([0.0, 1.0, 2.0])

@@ -93,9 +93,19 @@ class TestArrivalProcesses:
 
     def test_replay_attaches_given_times(self):
         trace = generate_trace(get_dataset("qmsum"), 3, seed=0)
-        replayed = replay_arrivals(trace, [0.5, 0.0, 2.0])
-        assert replayed.arrival_times == [0.5, 0.0, 2.0]
+        replayed = replay_arrivals(trace, [0.5, 1.0, 2.0])
+        assert replayed.arrival_times == [0.5, 1.0, 2.0]
         assert replayed.last_arrival_s == 2.0
+
+    def test_replay_non_monotonic_rejected_with_indices(self):
+        trace = generate_trace(get_dataset("qmsum"), 3, seed=0)
+        with pytest.raises(ValueError, match=r"arrival_times\[1\].*arrival_times\[0\]"):
+            replay_arrivals(trace, [0.5, 0.0, 2.0])
+
+    def test_replay_non_monotonic_opt_out(self):
+        trace = generate_trace(get_dataset("qmsum"), 3, seed=0)
+        replayed = replay_arrivals(trace, [0.5, 0.0, 2.0], monotonic=False)
+        assert replayed.arrival_times == [0.5, 0.0, 2.0]
 
     def test_replay_length_mismatch_rejected(self):
         trace = generate_trace(get_dataset("qmsum"), 3, seed=0)
